@@ -1,0 +1,74 @@
+"""Ablation A6: checking the paper's instruction-buffer assumption.
+
+The paper assumes all instruction references hit the buffers (§2.2),
+arguing the assumption "does not affect the execution time
+considerably."  We model the CRAY-1's 4x64-parcel buffers with real
+1/2-parcel instruction sizes and measure the assumption's actual cost
+across geometries.
+"""
+
+from repro.analysis import ENGINE_FACTORIES
+from repro.machine import MachineConfig, aggregate
+from repro.machine.fetch import InstructionBuffers
+
+from conftest import emit
+
+GEOMETRIES = [
+    ("always-hit (paper)", None, None),
+    ("CRAY-1: 4 x 64", 4, 64),
+    ("2 x 64", 2, 64),
+    ("1 x 64", 1, 64),
+    ("1 x 16 (starved)", 1, 16),
+]
+
+
+def _run(loops, config, n_buffers, parcels):
+    results = []
+    total_misses = 0
+    for workload in loops:
+        engine = ENGINE_FACTORIES["ruu-bypass"](
+            workload.program, config, workload.make_memory()
+        )
+        if n_buffers is not None:
+            engine.fetch_unit = InstructionBuffers(
+                workload.program, n_buffers=n_buffers,
+                parcels_per_buffer=parcels,
+            )
+        results.append(engine.run())
+        if engine.fetch_unit is not None:
+            total_misses += engine.fetch_unit.misses
+    return aggregate(results), total_misses
+
+
+def test_instruction_buffer_sensitivity(benchmark, loops, baseline,
+                                        results_dir):
+    config = MachineConfig(window_size=12)
+
+    def sweep():
+        return [
+            (label, *_run(loops, config, n, p))
+            for label, n, p in GEOMETRIES
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "Ablation A6: instruction-buffer geometry (RUU-bypass, 12 entries)",
+        f"{'Geometry':>20s} {'Cycles':>8s} {'Rate':>7s} {'Fills':>6s}",
+    ]
+    cycles = {}
+    for label, result, misses in rows:
+        cycles[label] = result.cycles
+        lines.append(
+            f"{label:>20s} {result.cycles:8d} {result.issue_rate:7.3f} "
+            f"{misses:6d}"
+        )
+    emit(results_dir, "ablation_fetch_buffers", "\n".join(lines))
+
+    # The paper's assumption is justified: CRAY-1 geometry is within
+    # 0.5% of the always-hit model (cold fills only).
+    assert cycles["CRAY-1: 4 x 64"] <= cycles["always-hit (paper)"] * 1.005
+    # A single 64-parcel buffer still holds most loop bodies (LLL8's
+    # 179-parcel body straddles blocks and re-fills occasionally).
+    assert cycles["1 x 64"] <= cycles["always-hit (paper)"] * 1.05
+    # A starved buffer finally hurts (LLL8's 179-parcel body thrashes).
+    assert cycles["1 x 16 (starved)"] > cycles["CRAY-1: 4 x 64"]

@@ -1,0 +1,43 @@
+"""Ablation A1: how many load registers does the RUU actually need?
+
+The paper used 6 and notes that 4 were sufficient for most cases.
+Sweeps the count on a 20-entry RUU; asserts performance is monotone in
+the count and has saturated by 6.
+"""
+
+from repro.analysis import ENGINE_FACTORIES, run_suite
+from repro.machine import MachineConfig
+
+from conftest import emit
+
+COUNTS = [1, 2, 3, 4, 6, 8]
+
+
+def test_load_register_sweep(benchmark, loops, baseline, results_dir):
+    def sweep():
+        rows = []
+        for count in COUNTS:
+            config = MachineConfig(window_size=20, n_load_registers=count)
+            result = run_suite(ENGINE_FACTORIES["ruu-bypass"], loops, config)
+            rows.append((count, result.cycles,
+                         baseline.cycles / result.cycles,
+                         result.issue_rate))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation A1: load-register count (RUU-bypass, 20 entries)",
+             f"{'LoadRegs':>9s} {'Speedup':>9s} {'Issue Rate':>11s}"]
+    for count, cycles, spd, rate in rows:
+        lines.append(f"{count:9d} {spd:9.3f} {rate:11.3f}")
+    emit(results_dir, "ablation_load_registers", "\n".join(lines))
+
+    cycles = [row[1] for row in rows]
+    # more load registers never hurt
+    assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+    by_count = {row[0]: row[1] for row in rows}
+    # The paper's 6 registers capture nearly all of the performance.
+    # (Our capacity model is conservative -- one register per in-flight
+    # memory op rather than per distinct address, see DESIGN.md -- so
+    # unlike the paper we still see a few percent beyond 6.)
+    assert by_count[6] <= by_count[4]
+    assert by_count[6] <= 1.10 * by_count[8]

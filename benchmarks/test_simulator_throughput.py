@@ -1,0 +1,39 @@
+"""Simulator-speed benchmarks (host performance, not model results).
+
+Unlike the table benches (one deterministic simulation, measured once),
+these use pytest-benchmark properly -- several rounds -- to track the
+*simulator's* throughput in simulated instructions per host second.
+Useful for catching performance regressions in the engines themselves.
+"""
+
+import pytest
+
+from repro.analysis import ENGINE_FACTORIES
+from repro.machine import CRAY1_LIKE, MachineConfig
+from repro.workloads import lll3
+
+ENGINES = ["simple", "tomasulo", "rstu", "ruu-bypass", "spec-ruu"]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return lll3(n=150)
+
+
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_engine_throughput(benchmark, engine_name, workload):
+    config = (
+        CRAY1_LIKE if engine_name == "simple"
+        else MachineConfig(window_size=12)
+    )
+    builder = ENGINE_FACTORIES[engine_name]
+
+    def run_once():
+        engine = builder(workload.program, config, workload.make_memory())
+        return engine.run()
+
+    result = benchmark(run_once)
+    instructions = result.instructions
+    benchmark.extra_info["simulated_instructions"] = instructions
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    assert instructions > 0

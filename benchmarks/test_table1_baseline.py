@@ -1,0 +1,28 @@
+"""Table 1: statistics for the benchmark programs on simple issue.
+
+Regenerates the per-loop instructions / cycles / issue-rate table for
+the in-order blocking-issue machine.  Absolute instruction counts differ
+from the paper (our kernels are hand-compiled at reduced problem sizes);
+the claim that must hold is the *rate*: every loop is far below the
+1-instruction-per-cycle limit, dominated by data-dependency stalls.
+"""
+
+from repro.analysis import format_table1, paper_data, per_loop_baseline
+
+from conftest import emit
+
+
+def test_table1_baseline(benchmark, loops, results_dir):
+    results = benchmark.pedantic(
+        per_loop_baseline, args=(loops,), rounds=1, iterations=1
+    )
+    text = format_table1(results, paper_data.TABLE1_BASELINE)
+    emit(results_dir, "table1_baseline", text)
+
+    total_instructions = sum(r.instructions for r in results)
+    total_cycles = sum(r.cycles for r in results)
+    total_rate = total_instructions / total_cycles
+    # Shape claims: well below the theoretical limit, every single loop.
+    assert 0.15 < total_rate < 0.6
+    for result in results:
+        assert result.issue_rate < 0.6, result.workload

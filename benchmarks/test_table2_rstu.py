@@ -1,0 +1,38 @@
+"""Table 2: relative speedup and issue rate with a RSTU (one dispatch
+path), sizes 3..30.
+
+Shape claims asserted: the curve is monotone, saturates by ~15-20
+entries, and ranks identically to the paper's column (Spearman > 0.95).
+"""
+
+from repro.analysis import (
+    format_sweep_table,
+    monotonic_fraction,
+    paper_data,
+    saturation_size,
+    spearman,
+    sweep_sizes,
+)
+
+from conftest import emit
+
+
+def test_table2_rstu(benchmark, loops, baseline, results_dir):
+    sweep = benchmark.pedantic(
+        sweep_sizes,
+        args=("rstu", paper_data.RSTU_SIZES),
+        kwargs={"workloads": loops, "baseline": baseline},
+        rounds=1, iterations=1,
+    )
+    text = format_sweep_table(
+        sweep, paper_data.TABLE2_RSTU,
+        "Table 2: RSTU, one dispatch path (paper columns right)",
+    )
+    emit(results_dir, "table2_rstu", text)
+
+    curve = sweep.speedups()
+    paper = {s: v[0] for s, v in paper_data.TABLE2_RSTU.items()}
+    assert monotonic_fraction(curve, tolerance=0.02) == 1.0
+    assert saturation_size(curve, threshold=0.95) <= 20
+    assert spearman(curve, paper) > 0.95
+    assert curve[25] > 1.5

@@ -1,0 +1,43 @@
+"""Table 3: the RSTU with two data paths to the functional units.
+
+The paper's reservoir argument: decode fills the RSTU at one
+instruction/cycle, so doubling the drain gains little.  Asserted: the
+two-path curve dominates the one-path curve but by at most ~10%.
+"""
+
+from repro.analysis import (
+    format_sweep_table,
+    paper_data,
+    spearman,
+    sweep_sizes,
+)
+
+from conftest import emit
+
+
+def test_table3_rstu_two_paths(benchmark, loops, baseline, results_dir):
+    sweep = benchmark.pedantic(
+        sweep_sizes,
+        args=("rstu", paper_data.RSTU_SIZES),
+        kwargs={
+            "workloads": loops,
+            "baseline": baseline,
+            "dispatch_paths": 2,
+        },
+        rounds=1, iterations=1,
+    )
+    text = format_sweep_table(
+        sweep, paper_data.TABLE3_RSTU_2PATH,
+        "Table 3: RSTU, two dispatch paths (paper columns right)",
+    )
+    emit(results_dir, "table3_rstu_2paths", text)
+
+    two_path = sweep.speedups()
+    one_path = sweep_sizes(
+        "rstu", paper_data.RSTU_SIZES, workloads=loops, baseline=baseline
+    ).speedups()
+    for size in paper_data.RSTU_SIZES:
+        assert two_path[size] >= one_path[size] - 0.02, size
+        assert two_path[size] <= one_path[size] * 1.10, size
+    paper = {s: v[0] for s, v in paper_data.TABLE3_RSTU_2PATH.items()}
+    assert spearman(two_path, paper) > 0.95

@@ -1,0 +1,40 @@
+"""Table 4: the RUU with bypass logic, sizes 3..50.
+
+The headline result: a reasonably sized RUU both speeds execution up
+*and* gives precise interrupts, approaching the (imprecise) RSTU's
+saturated speedup at large sizes.
+"""
+
+from repro.analysis import (
+    format_sweep_table,
+    monotonic_fraction,
+    paper_data,
+    spearman,
+    sweep_sizes,
+)
+
+from conftest import emit
+
+
+def test_table4_ruu_with_bypass(benchmark, loops, baseline, results_dir):
+    sweep = benchmark.pedantic(
+        sweep_sizes,
+        args=("ruu-bypass", paper_data.RUU_SIZES),
+        kwargs={"workloads": loops, "baseline": baseline},
+        rounds=1, iterations=1,
+    )
+    text = format_sweep_table(
+        sweep, paper_data.TABLE4_RUU_BYPASS,
+        "Table 4: RUU with bypass logic (paper columns right)",
+    )
+    emit(results_dir, "table4_ruu_bypass", text)
+
+    curve = sweep.speedups()
+    paper = {s: v[0] for s, v in paper_data.TABLE4_RUU_BYPASS.items()}
+    assert monotonic_fraction(curve, tolerance=0.02) == 1.0
+    assert spearman(curve, paper) > 0.95
+    # 10-12 entries already give a solid speedup (paper: 1.38-1.50).
+    assert curve[12] > 1.3
+    # ...and the large-size RUU approaches the RSTU (checked in the
+    # Table 2 bench's artifact; cross-checked in tests/test_paper_shape).
+    assert curve[50] > 1.6

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Dependence analysis: why the paper's machines behave as they do.
+
+For each Livermore loop this prints:
+
+* the dependence-distance distribution (§6.2's lens: long distances are
+  exactly the cases the no-bypass RUU pays for),
+* the dataflow limit (critical-path bound with infinite resources),
+* how close each machine gets to that limit.
+
+Run:  python examples/dependence_analysis.py [loop numbers...]
+"""
+
+import sys
+
+from repro import ENGINE_FACTORIES, MachineConfig
+from repro.analysis import dataflow_limit, distance_summary
+from repro.trace import FunctionalExecutor
+from repro.workloads import LIVERMORE_FACTORIES
+
+ENGINES = ["simple", "rstu", "ruu-bypass", "ruu-nobypass"]
+
+
+def analyze(number: int) -> None:
+    workload = LIVERMORE_FACTORIES[number]()
+    executor = FunctionalExecutor(workload.program, workload.make_memory())
+    trace = executor.run()
+    limit = dataflow_limit(trace)
+
+    print(f"=== {workload.name}: {workload.description} ===")
+    print(distance_summary(trace))
+    print(f"dataflow limit: {limit.describe()}")
+    config = MachineConfig(window_size=20)
+    for name in ENGINES:
+        engine = ENGINE_FACTORIES[name](
+            workload.program, config, workload.make_memory()
+        )
+        result = engine.run()
+        fraction = limit.critical_path_cycles / result.cycles
+        print(
+            f"  {name:>14s}: {result.cycles:6d} cycles "
+            f"(rate {result.issue_rate:.3f}, "
+            f"{fraction:5.1%} of the dataflow limit)"
+        )
+    print()
+
+
+def main(argv) -> None:
+    numbers = [int(arg) for arg in argv[1:]] or [3, 5, 7, 12]
+    for number in numbers:
+        analyze(number)
+    print(
+        "Reading guide: serial kernels (LLL5, LLL11) sit close to their\n"
+        "dataflow limit on every machine -- there is nothing for\n"
+        "out-of-order issue to find.  Parallel kernels (LLL7, LLL12)\n"
+        "have high ideal IPC, and the gap between the simple machine\n"
+        "and the RUU is exactly the parallelism the paper's mechanism\n"
+        "recovers."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Explore the (ILP x memory-intensity) design space with generated
+workloads.
+
+The Livermore loops sample fixed points of this space; the synthetic
+generator walks it continuously.  This example sweeps both axes and
+renders the issue-rate surfaces as ASCII charts -- showing where
+out-of-order issue pays (many independent chains, light memory) and
+where every machine converges (serial chains, heavy memory traffic).
+
+Run:  python examples/design_space.py
+"""
+
+from repro import ENGINE_FACTORIES, MachineConfig
+from repro.analysis import ascii_chart
+from repro.workloads import GeneratorSpec, generate_workload
+
+ENGINES = ["simple", "rstu", "ruu-bypass"]
+CONFIG = MachineConfig(window_size=16)
+
+
+def issue_rate(engine_name, workload):
+    engine = ENGINE_FACTORIES[engine_name](
+        workload.program, CONFIG, workload.make_memory()
+    )
+    return engine.run().issue_rate
+
+
+def main() -> None:
+    print("sweeping independent chains (no memory traffic)...")
+    ilp_curves = {engine: {} for engine in ENGINES}
+    for streams in (1, 2, 3):
+        workload = generate_workload(GeneratorSpec(
+            streams=streams, memory_fraction=0.0,
+            iterations=24, body_ops=18, seed=11,
+        ))
+        for engine in ENGINES:
+            ilp_curves[engine][streams] = issue_rate(engine, workload)
+    print(ascii_chart(
+        ilp_curves, width=48, height=14,
+        title="issue rate vs independent chains",
+        y_label="chains",
+    ))
+    print()
+
+    print("sweeping memory intensity (3 chains)...")
+    mem_curves = {engine: {} for engine in ENGINES}
+    for percent in (0, 25, 50, 75):
+        workload = generate_workload(GeneratorSpec(
+            streams=3, memory_fraction=percent / 100,
+            iterations=24, body_ops=18, seed=11,
+        ))
+        for engine in ENGINES:
+            mem_curves[engine][percent] = issue_rate(engine, workload)
+    print(ascii_chart(
+        mem_curves, width=48, height=14,
+        title="issue rate vs % of ops touching memory",
+        y_label="% memory",
+    ))
+    print(
+        "\nReading guide: with one chain all machines are pinned to the\n"
+        "chain's latency; each added chain widens the out-of-order\n"
+        "lead.  Memory traffic drags everyone down but never reorders\n"
+        "the mechanisms."
+    )
+
+
+if __name__ == "__main__":
+    main()

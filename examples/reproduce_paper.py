@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate every table of the paper's evaluation in one run.
+
+Prints Tables 1-6 side by side with the paper's published columns, plus
+the shape-fidelity summary recorded in EXPERIMENTS.md.  This is the
+same machinery the benchmark suite uses (`pytest benchmarks/
+--benchmark-only`), packaged as a single script.
+
+Run:  python examples/reproduce_paper.py          (~2-3 minutes)
+"""
+
+import time
+
+from repro import ENGINE_FACTORIES, MachineConfig, run_suite
+from repro.analysis import (
+    format_sweep_table,
+    format_table1,
+    paper_data,
+    per_loop_baseline,
+    shape_report,
+    sweep_sizes,
+)
+from repro.workloads import all_loops
+
+
+def main() -> None:
+    start = time.time()
+    loops = all_loops()
+
+    print("Table 1: statistics for the benchmark programs (simple issue)")
+    results = per_loop_baseline(loops)
+    print(format_table1(results, paper_data.TABLE1_BASELINE))
+    print()
+
+    baseline = run_suite(ENGINE_FACTORIES["simple"], loops)
+
+    tables = [
+        ("Table 2: RSTU, one dispatch path", "rstu",
+         paper_data.RSTU_SIZES, paper_data.TABLE2_RSTU, {}),
+        ("Table 3: RSTU, two dispatch paths", "rstu",
+         paper_data.RSTU_SIZES, paper_data.TABLE3_RSTU_2PATH,
+         {"dispatch_paths": 2}),
+        ("Table 4: RUU with bypass logic", "ruu-bypass",
+         paper_data.RUU_SIZES, paper_data.TABLE4_RUU_BYPASS, {}),
+        ("Table 5: RUU without bypass logic", "ruu-nobypass",
+         paper_data.RUU_SIZES, paper_data.TABLE5_RUU_NOBYPASS, {}),
+        ("Table 6: RUU with limited bypass (A future file)", "ruu-limited",
+         paper_data.RUU_SIZES, paper_data.TABLE6_RUU_LIMITED, {}),
+    ]
+
+    for title, engine, sizes, paper_table, overrides in tables:
+        sweep = sweep_sizes(engine, sizes, workloads=loops,
+                            baseline=baseline, **overrides)
+        print(format_sweep_table(sweep, paper_table, title))
+        paper_curve = {s: v[0] for s, v in paper_table.items()}
+        report = shape_report(sweep.speedups(), paper_curve, title)
+        print(
+            f"  shape: spearman={report['spearman']:.3f}  "
+            f"monotone={report['monotonic_fraction']:.2f}  "
+            f"saturation(meas/paper)="
+            f"{report['saturation_measured']}/"
+            f"{report['saturation_paper']}  "
+            f"final(meas/paper)={report['final_measured']:.3f}/"
+            f"{report['final_paper']:.3f}"
+        )
+        print()
+
+    print(f"total wall time: {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

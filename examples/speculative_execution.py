@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Paper section 7: conditional execution of predicted branch paths.
+
+Compares the blocking-branch RUU against the speculative RUU with three
+predictors, on loop-dominated code (predictable) and on data-dependent
+branches (hard), in both full-bypass and no-bypass configurations --
+speculation matters most when branch conditions resolve late.
+
+Run:  python examples/speculative_execution.py
+"""
+
+from repro import (
+    BypassMode,
+    MachineConfig,
+    RUUEngine,
+    SpeculativeRUUEngine,
+    StaticBTFNPredictor,
+    TwoBitPredictor,
+    aggregate,
+    reference_state,
+)
+from repro.core import AlwaysTakenPredictor
+from repro.workloads import branch_heavy, lll3, lll5, lll11
+
+CONFIG = MachineConfig(window_size=20)
+
+PREDICTORS = [
+    ("2-bit counters", TwoBitPredictor),
+    ("static BTFN", StaticBTFNPredictor),
+    ("always taken", AlwaysTakenPredictor),
+]
+
+
+def run_plain(workloads, bypass):
+    results = []
+    for workload in workloads:
+        engine = RUUEngine(workload.program, CONFIG,
+                           memory=workload.make_memory(), bypass=bypass)
+        results.append(engine.run())
+    return aggregate(results)
+
+
+def run_spec(workloads, bypass, predictor_cls):
+    results = []
+    for workload in workloads:
+        memory = workload.make_memory()
+        engine = SpeculativeRUUEngine(
+            workload.program, CONFIG, memory=memory, bypass=bypass,
+            predictor=predictor_cls(),
+        )
+        results.append(engine.run())
+        golden = reference_state(workload.program, workload.initial_memory)
+        assert engine.regs == golden.regs, workload.name
+        assert memory == golden.memory, workload.name
+    return aggregate(results)
+
+
+def report(title, workloads) -> None:
+    print(f"=== {title} ===")
+    for bypass in (BypassMode.FULL, BypassMode.NONE):
+        plain = run_plain(workloads, bypass)
+        print(f"\n  bypass={bypass.value}")
+        print(f"    {'blocking branches':>22s}: {plain.cycles:7d} cycles "
+              f"(rate {plain.issue_rate:.3f})")
+        for label, predictor_cls in PREDICTORS:
+            spec = run_spec(workloads, bypass, predictor_cls)
+            gain = plain.cycles / spec.cycles
+            print(
+                f"    {label:>22s}: {spec.cycles:7d} cycles "
+                f"(rate {spec.issue_rate:.3f}, {gain:.3f}x, "
+                f"{spec.mispredictions} mispredicts, "
+                f"{spec.squashed} squashed)"
+            )
+    print()
+
+
+def main() -> None:
+    report("predictable loop branches (LLL3, LLL5, LLL11)",
+           [lll3(), lll5(), lll11()])
+    report("data-dependent branches (synthetic)",
+           [branch_heavy(length=150)])
+    print(
+        "All runs are checked against the golden model: wrong-path\n"
+        "instructions never corrupt architectural state -- the RUU\n"
+        "simply nullifies them, exactly as the paper argues."
+    )
+
+
+if __name__ == "__main__":
+    main()

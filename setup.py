@@ -1,0 +1,9 @@
+"""Setup shim for offline legacy editable installs (no `wheel` package).
+
+All real metadata lives in pyproject.toml; use
+``pip install -e . --no-build-isolation --no-use-pep517`` when the
+``wheel`` package is unavailable.
+"""
+from setuptools import setup
+
+setup()

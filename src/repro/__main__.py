@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE``        -- assemble and run an assembly file on an engine
+* ``compare [loops]`` -- compare all issue mechanisms on Livermore loops
+* ``tables``          -- regenerate the paper's Tables 1-6
+* ``loops``           -- list the bundled workloads with their stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    ENGINE_FACTORIES,
+    format_sweep_table,
+    format_table1,
+    paper_data,
+    per_loop_baseline,
+    run_suite,
+    sweep_sizes,
+)
+from .isa import assemble
+from .machine import CRAY1_LIKE, MachineConfig, Memory
+from .trace import FunctionalExecutor
+from .workloads import LIVERMORE_FACTORIES, all_loops
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        program = assemble(handle.read(), name=args.file)
+    config = MachineConfig(window_size=args.window)
+    builder = ENGINE_FACTORIES[args.engine]
+    engine = builder(program, config, Memory())
+    result = engine.run()
+    print(result.describe())
+    if engine.interrupt_record is not None:
+        print(engine.interrupt_record.describe())
+    if args.registers:
+        for name, value in sorted(engine.regs.nonzero().items()):
+            print(f"  {name:>4s} = {value}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    numbers = args.loops or list(range(1, 15))
+    workloads = [LIVERMORE_FACTORIES[n]() for n in numbers]
+    config = MachineConfig(window_size=args.window)
+    results = {
+        name: run_suite(builder, workloads, config)
+        for name, builder in ENGINE_FACTORIES.items()
+    }
+    baseline = results["simple"]
+    print(f"{'engine':>16s} {'cycles':>9s} {'speedup':>8s} {'rate':>7s}")
+    for name in sorted(results):
+        result = results[name]
+        print(
+            f"{name:>16s} {result.cycles:9d} "
+            f"{baseline.cycles / result.cycles:8.3f} "
+            f"{result.issue_rate:7.3f}"
+        )
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    loops = all_loops()
+    print(format_table1(per_loop_baseline(loops),
+                        paper_data.TABLE1_BASELINE))
+    print()
+    baseline = run_suite(ENGINE_FACTORIES["simple"], loops)
+    specs = [
+        ("Table 2: RSTU (1 path)", "rstu", paper_data.RSTU_SIZES,
+         paper_data.TABLE2_RSTU, {}),
+        ("Table 3: RSTU (2 paths)", "rstu", paper_data.RSTU_SIZES,
+         paper_data.TABLE3_RSTU_2PATH, {"dispatch_paths": 2}),
+        ("Table 4: RUU with bypass", "ruu-bypass", paper_data.RUU_SIZES,
+         paper_data.TABLE4_RUU_BYPASS, {}),
+        ("Table 5: RUU without bypass", "ruu-nobypass",
+         paper_data.RUU_SIZES, paper_data.TABLE5_RUU_NOBYPASS, {}),
+        ("Table 6: RUU limited bypass", "ruu-limited",
+         paper_data.RUU_SIZES, paper_data.TABLE6_RUU_LIMITED, {}),
+    ]
+    for title, engine, sizes, table, overrides in specs:
+        sweep = sweep_sizes(engine, sizes, workloads=loops,
+                            baseline=baseline, **overrides)
+        print(format_sweep_table(sweep, table, title))
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import ReportSpec, build_report
+    from .workloads import SUITES
+
+    workloads = SUITES[args.suite]()
+    spec = ReportSpec(window_size=args.window)
+    text = build_report(workloads, spec)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .analysis.verify import verify_all
+    from .workloads import SUITES
+
+    unknown = [name for name in args.engines if name not in ENGINE_FACTORIES]
+    if unknown:
+        print(f"unknown engine(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(sorted(ENGINE_FACTORIES))}")
+        return 2
+    workloads = SUITES[args.suite]()
+    config = MachineConfig(window_size=args.window)
+    reports = verify_all(
+        workloads, config,
+        engines=args.engines or None,
+    )
+    failed = 0
+    for report in reports:
+        print(report.describe())
+        if not report.passed:
+            failed += 1
+    return 1 if failed else 0
+
+
+def _cmd_loops(args: argparse.Namespace) -> int:
+    for workload in all_loops():
+        executor = FunctionalExecutor(
+            workload.program, workload.make_memory()
+        )
+        trace = executor.run()
+        print(
+            f"{workload.name:>6s}  {len(workload.program):4d} static / "
+            f"{len(trace):6d} dynamic instructions  "
+            f"({workload.description})"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sohi RUU reproduction: CRAY-1-like issue-logic "
+                    "simulators",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="assemble and run a program")
+    p_run.add_argument("file")
+    p_run.add_argument("--engine", default="ruu-bypass",
+                       choices=sorted(ENGINE_FACTORIES))
+    p_run.add_argument("--window", type=int, default=12)
+    p_run.add_argument("--registers", action="store_true",
+                       help="dump non-zero registers after the run")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare all mechanisms")
+    p_cmp.add_argument("loops", nargs="*", type=int)
+    p_cmp.add_argument("--window", type=int, default=12)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_tab = sub.add_parser("tables", help="regenerate Tables 1-6")
+    p_tab.set_defaults(func=_cmd_tables)
+
+    p_report = sub.add_parser(
+        "report", help="generate a Markdown campaign report"
+    )
+    p_report.add_argument("-o", "--output", default=None)
+    p_report.add_argument("--suite", default="quick",
+                          choices=["quick", "livermore", "paper",
+                                   "synthetic"])
+    p_report.add_argument("--window", type=int, default=12)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="check engines against the golden model",
+    )
+    p_verify.add_argument("engines", nargs="*",
+                          help="engines to verify (default: all)")
+    p_verify.add_argument("--suite", default="quick",
+                          choices=["quick", "livermore", "paper",
+                                   "synthetic"])
+    p_verify.add_argument("--window", type=int, default=10)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_loops = sub.add_parser("loops", help="list bundled workloads")
+    p_loops.set_defaults(func=_cmd_loops)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

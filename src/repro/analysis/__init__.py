@@ -1,0 +1,81 @@
+"""Sweep harness, paper reference data, table rendering, shape metrics."""
+
+from . import paper_data
+from .cache import ResultCache, cache_key
+from .depgraph import (
+    DataflowLimit,
+    build_dependence_graph,
+    dataflow_limit,
+    dependence_distances,
+    distance_summary,
+)
+from .export import (
+    ascii_chart,
+    result_to_dict,
+    results_to_json,
+    sweep_to_csv,
+    sweep_to_rows,
+)
+from .shape import (
+    monotonic_fraction,
+    normalized_curve,
+    ordering_holds,
+    saturation_size,
+    shape_report,
+    spearman,
+)
+from .sweeps import (
+    ENGINE_FACTORIES,
+    Sweep,
+    SweepRow,
+    per_loop_baseline,
+    run_suite,
+    run_workload,
+    sweep_sizes,
+)
+from .report import ReportSpec, build_report
+from .tables import format_comparison, format_sweep_table, format_table1
+from .verify import (
+    VerificationFailure,
+    VerificationReport,
+    verify_all,
+    verify_engine,
+)
+
+__all__ = [
+    "DataflowLimit",
+    "ENGINE_FACTORIES",
+    "ReportSpec",
+    "ResultCache",
+    "Sweep",
+    "SweepRow",
+    "build_report",
+    "cache_key",
+    "ascii_chart",
+    "build_dependence_graph",
+    "dataflow_limit",
+    "dependence_distances",
+    "distance_summary",
+    "format_comparison",
+    "format_sweep_table",
+    "format_table1",
+    "monotonic_fraction",
+    "normalized_curve",
+    "ordering_holds",
+    "paper_data",
+    "per_loop_baseline",
+    "result_to_dict",
+    "results_to_json",
+    "run_suite",
+    "run_workload",
+    "saturation_size",
+    "shape_report",
+    "spearman",
+    "sweep_sizes",
+    "sweep_to_csv",
+    "sweep_to_rows",
+    "VerificationFailure",
+    "VerificationReport",
+    "verify_all",
+    "verify_engine",
+]

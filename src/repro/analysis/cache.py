@@ -1,0 +1,162 @@
+"""Disk cache for simulation results.
+
+Full table regeneration re-runs many identical (engine, config,
+workload) simulations.  :class:`ResultCache` memoizes
+:class:`~repro.machine.stats.SimResult` values on disk, keyed by a
+content hash of the engine name, the machine configuration, and the
+workload's program + initial memory -- so a cache entry can never serve
+stale results after a workload or config edit.
+
+Usage::
+
+    cache = ResultCache(".repro-cache")
+    result = cache.run(ENGINE_FACTORIES["rstu"], "rstu", workload, config)
+
+Simulations are deterministic, which is what makes caching sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import Counter
+from typing import Callable, Optional
+
+from ..isa.encoding import encode_program
+from ..machine.config import MachineConfig
+from ..machine.memory import Memory
+from ..machine.stats import SimResult
+from ..workloads.base import Workload
+
+
+def _config_fingerprint(config: MachineConfig) -> str:
+    payload = {
+        "latencies": {
+            fu.value: cycles for fu, cycles in sorted(
+                config.latencies.items(), key=lambda kv: kv[0].value
+            )
+        },
+        "issue_width": config.issue_width,
+        "branch_taken_penalty": config.branch_taken_penalty,
+        "branch_not_taken_penalty": config.branch_not_taken_penalty,
+        "window_size": config.window_size,
+        "n_load_registers": config.n_load_registers,
+        "counter_bits": config.counter_bits,
+        "dispatch_paths": config.dispatch_paths,
+        "commit_paths": config.commit_paths,
+        "n_tags": config.n_tags,
+        "forward_latency": config.forward_latency,
+        "store_execute_latency": config.store_execute_latency,
+        "spec_predict_taken_penalty": config.spec_predict_taken_penalty,
+        "spec_mispredict_penalty": config.spec_mispredict_penalty,
+        "spec_max_branches": config.spec_max_branches,
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def _memory_fingerprint(memory: Memory) -> str:
+    return json.dumps(
+        sorted(
+            (address, repr(value))
+            for address, value in memory.nonzero().items()
+        )
+    )
+
+
+def cache_key(engine_name: str, workload: Workload,
+              config: MachineConfig) -> str:
+    """Content hash identifying one simulation."""
+    digest = hashlib.sha256()
+    digest.update(engine_name.encode())
+    digest.update(encode_program(workload.program))
+    digest.update(_memory_fingerprint(workload.initial_memory).encode())
+    digest.update(_config_fingerprint(config).encode())
+    return digest.hexdigest()
+
+
+def _result_to_json(result: SimResult) -> dict:
+    return {
+        "engine": result.engine,
+        "workload": result.workload,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "stalls": dict(result.stalls),
+        "branches": result.branches,
+        "branches_taken": result.branches_taken,
+        "interrupts": result.interrupts,
+        "mispredictions": result.mispredictions,
+        "squashed": result.squashed,
+    }
+
+
+def _result_from_json(payload: dict) -> SimResult:
+    result = SimResult(
+        engine=payload["engine"],
+        workload=payload["workload"],
+        cycles=payload["cycles"],
+        instructions=payload["instructions"],
+        stalls=Counter(payload["stalls"]),
+        branches=payload["branches"],
+        branches_taken=payload["branches_taken"],
+        interrupts=payload["interrupts"],
+        mispredictions=payload["mispredictions"],
+        squashed=payload["squashed"],
+    )
+    result.extra["from_cache"] = True
+    return result
+
+
+class ResultCache:
+    """A directory of memoized simulation results."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[SimResult]:
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        with open(path) as handle:
+            return _result_from_json(json.load(handle))
+
+    def put(self, key: str, result: SimResult) -> None:
+        with open(self._path(key), "w") as handle:
+            json.dump(_result_to_json(result), handle)
+
+    def run(
+        self,
+        builder: Callable,
+        engine_name: str,
+        workload: Workload,
+        config: MachineConfig,
+    ) -> SimResult:
+        """Return the cached result or simulate and memoize."""
+        key = cache_key(engine_name, workload, config)
+        cached = self.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        engine = builder(workload.program, config, workload.make_memory())
+        result = engine.run()
+        # never cache interrupted runs: the caller's fault-injection
+        # state is not part of the key
+        if result.interrupts == 0:
+            self.put(key, result)
+        return result
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        removed = 0
+        for name in os.listdir(self.directory):
+            if name.endswith(".json"):
+                os.remove(os.path.join(self.directory, name))
+                removed += 1
+        return removed

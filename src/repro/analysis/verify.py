@@ -1,0 +1,120 @@
+"""Self-verification: check an engine's architectural correctness.
+
+``verify_engine`` runs one engine across a workload suite and compares
+final registers/memory/instruction counts against the golden functional
+model.  This is the same invariant the test-suite enforces, packaged as
+a library call (and the ``python -m repro verify`` command) so that
+downstream modifications -- new engines, new configs, edited kernels --
+can be checked in one line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..machine.config import CRAY1_LIKE, MachineConfig
+from ..trace.iss import reference_state
+from ..workloads.base import Workload
+from ..workloads.livermore import all_loops
+from .sweeps import ENGINE_FACTORIES
+
+
+@dataclass
+class VerificationFailure:
+    """One workload on which an engine diverged from the golden model."""
+
+    workload: str
+    register_diff: Dict[str, tuple]
+    memory_diff: Dict[int, tuple]
+    retired: int
+    expected_retired: int
+    interrupt: Optional[str] = None
+
+    def describe(self) -> str:
+        parts = [f"{self.workload}:"]
+        if self.interrupt:
+            parts.append(f"unexpected interrupt ({self.interrupt})")
+        if self.register_diff:
+            parts.append(f"{len(self.register_diff)} register(s) differ")
+        if self.memory_diff:
+            parts.append(f"{len(self.memory_diff)} memory word(s) differ")
+        if self.retired != self.expected_retired:
+            parts.append(
+                f"retired {self.retired} != {self.expected_retired}"
+            )
+        return " ".join(parts)
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one engine over a suite."""
+
+    engine: str
+    workloads_checked: int = 0
+    failures: List[VerificationFailure] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        if self.passed:
+            return (
+                f"{self.engine}: OK -- bit-exact with the golden model "
+                f"on {self.workloads_checked} workload(s)"
+            )
+        lines = [
+            f"{self.engine}: FAILED on {len(self.failures)} of "
+            f"{self.workloads_checked} workload(s)"
+        ]
+        lines += [f"  {failure.describe()}" for failure in self.failures]
+        return "\n".join(lines)
+
+
+def verify_engine(
+    engine_name: str,
+    workloads: Optional[Sequence[Workload]] = None,
+    config: Optional[MachineConfig] = None,
+) -> VerificationReport:
+    """Check one engine against the golden model on each workload."""
+    builder = ENGINE_FACTORIES[engine_name]
+    workloads = list(workloads) if workloads is not None else all_loops()
+    config = config or CRAY1_LIKE
+    report = VerificationReport(engine=engine_name)
+    for workload in workloads:
+        report.workloads_checked += 1
+        golden = reference_state(workload.program, workload.initial_memory)
+        memory = workload.make_memory()
+        engine = builder(workload.program, config, memory)
+        result = engine.run()
+        register_diff = engine.regs.diff(golden.regs)
+        memory_diff = memory.diff(golden.memory)
+        interrupted = (
+            engine.interrupt_record.describe()
+            if engine.interrupt_record is not None else None
+        )
+        if register_diff or memory_diff or interrupted \
+                or result.instructions != golden.executed:
+            report.failures.append(
+                VerificationFailure(
+                    workload=workload.name,
+                    register_diff=register_diff,
+                    memory_diff=memory_diff,
+                    retired=result.instructions,
+                    expected_retired=golden.executed,
+                    interrupt=interrupted,
+                )
+            )
+    return report
+
+
+def verify_all(
+    workloads: Optional[Sequence[Workload]] = None,
+    config: Optional[MachineConfig] = None,
+    engines: Optional[Sequence[str]] = None,
+) -> List[VerificationReport]:
+    """Verify every registered engine (or a named subset)."""
+    names = list(engines) if engines is not None \
+        else sorted(ENGINE_FACTORIES)
+    return [verify_engine(name, workloads, config) for name in names]

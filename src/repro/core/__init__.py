@@ -1,0 +1,37 @@
+"""The paper's contribution: the Register Update Unit and its extensions."""
+
+from .interrupts import (
+    CampaignResult,
+    PrecisionReport,
+    check_precision,
+    demonstrate_restartability,
+    fault_injection_campaign,
+    run_with_page_fault,
+    run_with_recovery,
+)
+from .prediction import (
+    AlwaysTakenPredictor,
+    BranchPredictor,
+    StaticBTFNPredictor,
+    TwoBitPredictor,
+)
+from .ruu import BypassMode, RUUEngine
+from .speculative import PendingBranch, SpeculativeRUUEngine
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BranchPredictor",
+    "BypassMode",
+    "CampaignResult",
+    "fault_injection_campaign",
+    "PendingBranch",
+    "PrecisionReport",
+    "RUUEngine",
+    "SpeculativeRUUEngine",
+    "StaticBTFNPredictor",
+    "TwoBitPredictor",
+    "check_precision",
+    "demonstrate_restartability",
+    "run_with_page_fault",
+    "run_with_recovery",
+]

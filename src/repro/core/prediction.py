@@ -1,0 +1,87 @@
+"""Branch predictors for the speculative RUU (paper section 7).
+
+The paper points at Smith's branch-prediction study [6] and Lee & Smith
+[7]; the standard mechanisms from those papers are provided:
+
+* :class:`TwoBitPredictor` -- a table of two-bit saturating counters
+  indexed by branch address (Smith's strategy 7);
+* :class:`StaticBTFNPredictor` -- backward-taken / forward-not-taken;
+* :class:`AlwaysTakenPredictor` -- the degenerate baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..isa.instruction import Instruction
+
+
+class BranchPredictor:
+    """Interface: predict by branch site, learn from outcomes."""
+
+    def predict(self, inst: Instruction) -> bool:
+        raise NotImplementedError
+
+    def update(self, inst: Instruction, taken: bool) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all history."""
+
+
+class TwoBitPredictor(BranchPredictor):
+    """Per-site two-bit saturating counters (0..3; >=2 predicts taken).
+
+    Counters start at ``initial`` (default 1: weakly not-taken) and are
+    allocated on first use; ``table_size`` hashes sites into a finite
+    table like a real branch-history table would.
+    """
+
+    def __init__(self, table_size: int = 256, initial: int = 1) -> None:
+        if not 0 <= initial <= 3:
+            raise ValueError("two-bit counter initial value must be 0..3")
+        self.table_size = table_size
+        self.initial = initial
+        self._counters: Dict[int, int] = {}
+
+    def _slot(self, inst: Instruction) -> int:
+        return inst.pc % self.table_size
+
+    def predict(self, inst: Instruction) -> bool:
+        return self._counters.get(self._slot(inst), self.initial) >= 2
+
+    def update(self, inst: Instruction, taken: bool) -> None:
+        slot = self._slot(inst)
+        counter = self._counters.get(slot, self.initial)
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._counters[slot] = counter
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+
+class StaticBTFNPredictor(BranchPredictor):
+    """Backward branches predicted taken, forward not taken.
+
+    Needs no state; loops (the dominant pattern in the Livermore
+    benchmarks) are backward branches, so this static rule is strong.
+    """
+
+    def predict(self, inst: Instruction) -> bool:
+        return inst.target is not None and inst.target <= inst.pc
+
+    def update(self, inst: Instruction, taken: bool) -> None:
+        pass
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Predict taken unconditionally."""
+
+    def predict(self, inst: Instruction) -> bool:
+        return True
+
+    def update(self, inst: Instruction, taken: bool) -> None:
+        pass

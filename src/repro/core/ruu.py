@@ -1,0 +1,447 @@
+"""The Register Update Unit (paper sections 5 and 6) -- the contribution.
+
+The RUU is the RSTU *managed as a queue*: instructions enter at the tail
+in program order and leave at the head in program order.  That single
+constraint buys two things at once:
+
+1. **Precise interrupts.**  Architectural state (registers *and*
+   memory) is updated only at the head, in program order -- the RUU is
+   simultaneously a reorder buffer.  When the head instruction has a
+   fault, everything younger is squashed and the visible state is
+   exactly the sequential state before the faulting instruction.
+
+2. **Cheap tags.**  Because results return to each register in program
+   order, the associative latest-copy search of the RSTU collapses to
+   two small counters per register (paper §5.1):
+
+   * ``NI`` -- Number of Instances of the register in the RUU, and
+   * ``LI`` -- the Latest Instance number (incremented modulo 2^n).
+
+   A source tag is simply ``(register, LI)``; issue blocks when
+   ``NI == 2^n - 1``.  No associative tag allocation remains -- only
+   the tag *match* in the reservation stations, which every scheme
+   needs.
+
+Three bypass configurations from section 6 are supported:
+
+* ``BypassMode.FULL`` (Table 4): an operand whose producer has executed
+  but not yet committed is read directly from the RUU at issue time.
+* ``BypassMode.NONE`` (Table 5): no such read path.  Reservation
+  stations (and a branch waiting in decode) monitor **both** the result
+  bus and the RUU-to-register-file commit bus, so the dependency
+  resolves when the producer's value travels on either -- but a value
+  that is already sitting in the RUU when the consumer issues is only
+  obtained when the producer *commits*.
+* ``BypassMode.LIMITED`` (Table 6): the A register file is duplicated
+  as a *future file* updated at completion time, restoring the bypass
+  path for A registers only (the branch-condition registers); B, S and
+  T behave as in ``NONE``.  Reading the newest executed instance from
+  the RUU entry is exactly the future-file read, and is implemented
+  that way here.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.registers import RegBank, Register
+from ..isa.semantics import coerce_for_bank, evaluate
+from ..machine.engine import Engine
+from ..machine.faults import FAULT_TYPES, PageFault, SimulationError
+from ..machine.stats import StallReason
+from ..memdep import FROM_MEMORY, MemoryDependencyUnit
+from ..issue.common import Operand, WindowEntry
+
+Tag = Tuple[Register, int]
+
+
+class BypassMode(enum.Enum):
+    """Operand-bypass configurations evaluated in section 6."""
+
+    FULL = "bypass"       # Table 4: read executed results from the RUU
+    NONE = "nobypass"     # Table 5: wait for a bus (result or commit)
+    LIMITED = "limited"   # Table 6: future file for the A registers only
+
+
+class RUUEngine(Engine):
+    """Queue-managed reservation stations with in-order commit."""
+
+    name = "ruu"
+    claims_precise_interrupts = True
+
+    def __init__(self, *args, bypass: BypassMode = BypassMode.FULL,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.bypass = bypass
+        self.name = f"ruu-{bypass.value}"
+        self.mdu = MemoryDependencyUnit(self.config.n_load_registers)
+        self.window: Deque[WindowEntry] = deque()
+        self._ni: Dict[Register, int] = {}
+        self._li: Dict[Register, int] = {}
+        self._live: Dict[Tag, WindowEntry] = {}
+        self._unresolved: Deque[WindowEntry] = deque()
+        self._pending_publish: List[WindowEntry] = []
+        self._decode_watch_tag: Optional[Tag] = None
+        self._decode_watch_value = None
+        self._decode_watch_hit = False
+        self._inflight = 0
+        self.max_ni_observed = 0
+        self.occupancy_accum = 0
+
+    # ------------------------------------------------------------------
+    # issue (tail of the queue)
+    # ------------------------------------------------------------------
+
+    def _try_issue(self, inst: Instruction, seq: int) -> bool:
+        if len(self.window) >= self.config.window_size:
+            self.stall(StallReason.WINDOW_FULL)
+            return False
+        if inst.is_memory and not self.mdu.can_accept():
+            self.stall(StallReason.NO_LOAD_REGISTER)
+            return False
+        dest = inst.dest
+        if dest is not None and \
+                self._ni.get(dest, 0) >= self.config.max_instances:
+            self.stall(StallReason.INSTANCE_LIMIT)
+            return False
+
+        # Sources first (an instruction may read its own destination's
+        # previous instance), then create the new destination instance.
+        operands = [self._source_operand(reg) for reg in inst.sources]
+        dest_tag: Optional[Tag] = None
+        if dest is not None:
+            ni = self._ni.get(dest, 0) + 1
+            self._ni[dest] = ni
+            self.max_ni_observed = max(self.max_ni_observed, ni)
+            li = (self._li.get(dest, 0) + 1) % (1 << self.config.counter_bits)
+            self._li[dest] = li
+            dest_tag = (dest, li)
+        entry = WindowEntry(seq, inst, operands, dest_tag=dest_tag)
+        self.window.append(entry)
+        if dest_tag is not None:
+            self._live[dest_tag] = entry
+        if inst.is_memory:
+            self.mdu.add(seq, inst.is_store)
+            self._unresolved.append(entry)
+            if inst.is_store:
+                self._pending_publish.append(entry)
+        self.note(seq, "issue")
+        return True
+
+    def _source_operand(self, reg: Register) -> Operand:
+        """Register-file read, RUU bypass read, or tag to snoop.
+
+        With ``NI == 0`` the register file holds the latest instance
+        (commits are in order).  Otherwise the latest instance is tag
+        ``(reg, LI)``: a bypass-enabled bank may read it from the RUU if
+        it has executed; a bypass-disabled bank waits for the value to
+        travel on the result bus or the commit bus.
+        """
+        if self._ni.get(reg, 0) == 0:
+            return Operand(True, self.regs.read(reg))
+        tag = (reg, self._li[reg])
+        if self._bypass_allows(reg):
+            producer = self._live.get(tag)
+            if producer is not None and producer.executed \
+                    and producer.fault is None:
+                return Operand(True, producer.result)
+        return Operand(False, tag=tag)
+
+    def _bypass_allows(self, reg: Register) -> bool:
+        if self.bypass is BypassMode.FULL:
+            return True
+        if self.bypass is BypassMode.LIMITED:
+            return reg.bank is RegBank.A
+        return False
+
+    # ------------------------------------------------------------------
+    # dispatch (RUU -> functional units)
+    # ------------------------------------------------------------------
+
+    def _phase_dispatch(self) -> None:
+        if self.interrupt_record is not None:
+            return
+        self._resolve_addresses()
+        self._publish_store_data()
+        self.occupancy_accum += len(self.window)
+        budget = self.config.dispatch_paths
+        budget = self._dispatch_pass(budget, memory_only=True)
+        self._dispatch_pass(budget, memory_only=False)
+
+    def _dispatch_pass(self, budget: int, memory_only: bool) -> int:
+        """One priority class, oldest first (paper: loads/stores first,
+        then the instruction that entered the RUU earliest)."""
+        if budget <= 0:
+            return 0
+        for entry in self.window:
+            if budget == 0:
+                break
+            if entry.dispatched or entry.inst.is_memory != memory_only:
+                continue
+            if not self._entry_ready(entry):
+                continue
+            if self._dispatch(entry):
+                budget -= 1
+        return budget
+
+    def _resolve_addresses(self) -> None:
+        """Effective addresses resolve strictly in program order."""
+        while self._unresolved:
+            entry = self._unresolved[0]
+            if not entry.address_computable():
+                break
+            self.mdu.resolve(entry.seq, entry.compute_address())
+            self._unresolved.popleft()
+
+    def _publish_store_data(self) -> None:
+        still_waiting: List[WindowEntry] = []
+        for entry in self._pending_publish:
+            if entry.squashed:
+                continue
+            if entry.datum_operand.ready:
+                self.mdu.publish(entry.seq, entry.datum_operand.value)
+                entry.datum_published = True
+            else:
+                still_waiting.append(entry)
+        self._pending_publish = still_waiting
+
+    def _entry_ready(self, entry: WindowEntry) -> bool:
+        inst = entry.inst
+        if inst.is_memory:
+            if not self.mdu.is_resolved(entry.seq):
+                return False
+            if inst.is_store:
+                return (
+                    entry.operands_ready()
+                    and self.mdu.store_may_dispatch(entry.seq)
+                )
+            return self.mdu.load_source_ready(entry.seq)
+        return entry.operands_ready()
+
+    def _execution_latency(self, entry: WindowEntry) -> int:
+        inst = entry.inst
+        if inst.is_store:
+            return self.config.store_execute_latency
+        if inst.is_load and self.mdu.binding_of(entry.seq) is not FROM_MEMORY:
+            return self.config.forward_latency
+        return self.config.latency(inst.fu)
+
+    def _dispatch(self, entry: WindowEntry) -> bool:
+        """Send a ready entry to its functional unit, reserving the
+        result bus for its completion cycle (paper: "The RUU reserves
+        the result bus when it issues an instruction")."""
+        inst = entry.inst
+        if not self.fus.can_accept(inst.fu, self.cycle):
+            return False
+        done_cycle = self.cycle + self._execution_latency(entry)
+        if inst.dest is not None and not self.result_bus.is_free(done_cycle):
+            self.result_bus.conflicts += 1
+            return False
+        self._execute(entry)
+        self.fus.accept(inst.fu, self.cycle)
+        if inst.dest is not None:
+            self.result_bus.reserve(done_cycle)
+        entry.dispatched = True
+        if inst.is_memory:
+            self.mdu.mark_dispatched(entry.seq)
+        self._schedule_completion(done_cycle, entry)
+        self._inflight += 1
+        self.note(entry.seq, "dispatch")
+        return True
+
+    def _execute(self, entry: WindowEntry) -> None:
+        """Compute the result now; it reaches the buses at completion.
+
+        Loads read memory here (at dispatch): uncommitted older stores
+        cannot be missed because a same-address pending store would have
+        captured the load at binding time, and memory itself is only
+        written by in-order commits.  Stores touch nothing until commit.
+        """
+        inst = entry.inst
+        try:
+            if inst.is_load:
+                if self.mdu.binding_of(entry.seq) is FROM_MEMORY:
+                    raw = self.memory.read(entry.address)
+                else:
+                    raw = self.mdu.forwarded_value(entry.seq)
+                entry.result = coerce_for_bank(inst.dest, raw)
+            elif inst.is_store:
+                pass  # memory is written at commit, in program order
+            else:
+                raw = evaluate(inst.opcode, entry.operand_values(), inst.imm)
+                entry.result = coerce_for_bank(inst.dest, raw)
+        except FAULT_TYPES as fault:
+            entry.fault = fault
+
+    # ------------------------------------------------------------------
+    # completion (functional units -> result bus)
+    # ------------------------------------------------------------------
+
+    def _phase_complete(self) -> None:
+        for entry in self._pop_completions():
+            self._inflight -= 1
+            if entry.squashed:
+                continue
+            entry.executed_cycle = self.cycle
+            self.note(entry.seq, "complete")
+            if entry.fault is not None:
+                continue  # no result to broadcast; trap taken at commit
+            if entry.inst.dest is not None:
+                self._broadcast(entry.dest_tag, entry.result)
+            if entry.inst.is_load:
+                self.mdu.publish(entry.seq, entry.result)
+
+    def _broadcast(self, tag: Tag, value) -> None:
+        """Result-bus (and, from commit, commit-bus) tag match: waiting
+        reservation stations and a watching decode stage capture."""
+        for waiter in self.window:
+            waiter.snoop(tag, value)
+        if tag == self._decode_watch_tag:
+            self._decode_watch_value = value
+            self._decode_watch_hit = True
+
+    # ------------------------------------------------------------------
+    # commit (head of the queue -> architectural state)
+    # ------------------------------------------------------------------
+
+    def _phase_commit(self) -> None:
+        if self.interrupt_record is not None:
+            return
+        budget = self.config.commit_paths
+        while budget > 0 and self.window:
+            entry = self.window[0]
+            if not entry.executed or entry.executed_cycle >= self.cycle:
+                return
+            if entry.fault is not None:
+                self._interrupt_at(entry)
+                return
+            if not self._commit_head(entry):
+                return
+            budget -= 1
+
+    def _commit_head(self, entry: WindowEntry) -> bool:
+        """Retire the head entry, updating the architectural state."""
+        inst = entry.inst
+        if inst.is_store:
+            try:
+                self.memory.write(entry.address, entry.datum_operand.value)
+            except PageFault as fault:
+                entry.fault = fault
+                self._interrupt_at(entry)
+                return False
+        if inst.dest is not None:
+            self.regs.write(inst.dest, entry.result)
+            ni = self._ni[inst.dest] - 1
+            if ni:
+                self._ni[inst.dest] = ni
+            else:
+                del self._ni[inst.dest]
+            # The RUU-to-register-file bus is snooped like the result bus.
+            self._broadcast(entry.dest_tag, entry.result)
+            self._live.pop(entry.dest_tag, None)
+        if inst.is_memory:
+            self.mdu.finish(entry.seq)
+        self.window.popleft()
+        self.note(entry.seq, "commit")
+        self._note_retired(entry.seq)
+        return True
+
+    # ------------------------------------------------------------------
+    # precise interrupts
+    # ------------------------------------------------------------------
+
+    def _interrupt_at(self, entry: WindowEntry) -> None:
+        """Take a precise trap at the head instruction.
+
+        Every younger instruction (all of which are in the RUU or still
+        in a functional-unit pipeline) is squashed; none has touched
+        architectural state.  The machine restarts at the faulting PC.
+        """
+        self._take_interrupt(
+            entry.fault, seq=entry.seq, pc=entry.inst.pc, precise=True
+        )
+        # Branches and NOPs retire in the decode stage; any that were
+        # younger than the trap will re-execute, so un-count them.
+        doomed = sum(1 for seq in self.retire_log if seq >= entry.seq)
+        if doomed:
+            self.retired -= doomed
+            self.retire_log = [
+                seq for seq in self.retire_log if seq < entry.seq
+            ]
+        self._squash_all()
+        self.pc = entry.inst.pc
+        self.decode_slot = None
+        self.fetch_done = False
+        self.fetch_resume_cycle = self.cycle + 1
+
+    def _squash_all(self) -> None:
+        for entry in self.window:
+            entry.squashed = True
+        self.squashed += len(self.window)
+        self.window.clear()
+        self._live.clear()
+        self._ni.clear()
+        self._unresolved.clear()
+        self._pending_publish.clear()
+        self.mdu.squash_from(0)
+        self._clear_decode_watch()
+
+    def _prepare_resume(self) -> None:
+        """Nothing to rebuild: ``_interrupt_at`` already restored a clean
+        machine (empty RUU, zero NI counters, PC at the trap)."""
+
+    # ------------------------------------------------------------------
+    # branches in the decode stage
+    # ------------------------------------------------------------------
+
+    def _branch_operand(self, reg: Register) -> Tuple[bool, object]:
+        """Condition-register read under the configured bypass mode.
+
+        This is where Table 6's mechanism lives: with no bypass, a
+        branch whose condition was computed *before* the branch reached
+        decode can only obtain it from the commit bus; duplicating the
+        A register file (the future file) restores an immediate read.
+        """
+        if self._ni.get(reg, 0) == 0:
+            self._clear_decode_watch()
+            return True, self.regs.read(reg)
+        tag = (reg, self._li[reg])
+        if self._bypass_allows(reg):
+            producer = self._live.get(tag)
+            if producer is not None and producer.executed \
+                    and producer.fault is None:
+                self._clear_decode_watch()
+                return True, producer.result
+        if self._decode_watch_tag == tag and self._decode_watch_hit:
+            value = self._decode_watch_value
+            self._clear_decode_watch()
+            return True, value
+        self._decode_watch_tag = tag
+        return False, None
+
+    def _clear_decode_watch(self) -> None:
+        self._decode_watch_tag = None
+        self._decode_watch_value = None
+        self._decode_watch_hit = False
+
+    def _register_pending(self, reg: Register) -> bool:
+        return self._ni.get(reg, 0) > 0
+
+    # ------------------------------------------------------------------
+
+    def _drained(self) -> bool:
+        return not self.window and self._inflight == 0
+
+    def result(self):
+        sim_result = super().result()
+        if self.cycle:
+            sim_result.extra["avg_window_occupancy"] = (
+                self.occupancy_accum / self.cycle
+            )
+        sim_result.extra["memory_forwards"] = self.mdu.forwards
+        sim_result.extra["max_ni_observed"] = self.max_ni_observed
+        sim_result.extra["bypass_mode"] = self.bypass.value
+        return sim_result

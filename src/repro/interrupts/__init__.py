@@ -1,0 +1,17 @@
+"""Smith & Pleszkun precise-interrupt schemes on the in-order machine."""
+
+from .inorder import (
+    FutureFileEngine,
+    HistoryBufferEngine,
+    InOrderPreciseEngine,
+    ReorderBufferBypassEngine,
+    ReorderBufferEngine,
+)
+
+__all__ = [
+    "FutureFileEngine",
+    "HistoryBufferEngine",
+    "InOrderPreciseEngine",
+    "ReorderBufferBypassEngine",
+    "ReorderBufferEngine",
+]

@@ -1,0 +1,176 @@
+"""A small text assembler for the model ISA.
+
+Syntax (one instruction per line, ``;`` or ``#`` starts a comment)::
+
+        A_IMM  A1, 100        ; dest, immediate
+    loop:
+        LOAD_S S1, A1[0]      ; dest, base[offset]
+        F_MUL  S2, S1, S3     ; dest, src, src
+        S_SHL  S4, S2, 3      ; dest, src, shift amount
+        STORE_S A2[4], S2     ; base[offset], src
+        A_ADDI A1, A1, -1
+        BR_NONZERO A1, loop   ; tested register, label
+        HALT
+
+Memory operands also accept the two-argument form ``base, offset``.
+Immediates may be integers (decimal, ``0x..``) or floats.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .instruction import Instruction
+from .opcodes import OpKind, Opcode
+from .program import Program, ProgramError, build_program
+from .registers import Register
+
+
+class AssemblyError(ProgramError):
+    """Raised on a syntax or operand error, with the offending line."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_][\w.]*)\s*:\s*(.*)$")
+_MEM_RE = re.compile(r"^([ASBT]\d+)\s*\[\s*([+-]?\w+)\s*\]$", re.IGNORECASE)
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` text into a finalized :class:`Program`."""
+    instructions: List[Instruction] = []
+    labels = {}
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw)
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            label, line = match.group(1), match.group(2)
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}", line_no, raw)
+            labels[label] = len(instructions)
+        if not line.strip():
+            continue
+        instructions.append(_parse_instruction(line, line_no, raw))
+    return build_program(instructions, labels, name)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line
+
+
+def _parse_instruction(line: str, line_no: int, raw: str) -> Instruction:
+    parts = line.strip().split(None, 1)
+    mnemonic = parts[0]
+    operand_text = parts[1] if len(parts) > 1 else ""
+    try:
+        opcode = Opcode.parse(mnemonic)
+    except ValueError as exc:
+        raise AssemblyError(str(exc), line_no, raw) from exc
+    operands = [
+        field.strip() for field in operand_text.split(",") if field.strip()
+    ]
+    try:
+        return _build(opcode, operands)
+    except (ValueError, IndexError) as exc:
+        raise AssemblyError(str(exc), line_no, raw) from exc
+
+
+def _build(opcode: Opcode, operands: List[str]) -> Instruction:
+    kind = opcode.kind
+    if kind is OpKind.NOP or kind is OpKind.HALT:
+        _expect(operands, 0, opcode)
+        return Instruction(opcode)
+    if kind is OpKind.IMMEDIATE:
+        _expect(operands, 2, opcode)
+        return Instruction(
+            opcode, dest=Register.parse(operands[0]),
+            imm=_parse_number(operands[1]),
+        )
+    if kind is OpKind.LOAD:
+        base, offset, rest = _parse_memory_operand(operands[1:], opcode)
+        _expect(rest, 0, opcode)
+        return Instruction(
+            opcode, dest=Register.parse(operands[0]), base=base, imm=offset
+        )
+    if kind is OpKind.STORE:
+        base, offset, rest = _parse_memory_operand(operands, opcode)
+        _expect(rest, 1, opcode)
+        return Instruction(
+            opcode, srcs=(Register.parse(rest[0]),), base=base, imm=offset
+        )
+    if kind is OpKind.BRANCH:
+        _expect(operands, 2, opcode)
+        return Instruction(
+            opcode, srcs=(Register.parse(operands[0]),), target=operands[1]
+        )
+    if kind is OpKind.JUMP:
+        _expect(operands, 1, opcode)
+        return Instruction(opcode, target=operands[0])
+
+    # ALU: dest, then n_srcs register sources, then optionally an immediate.
+    dest = Register.parse(operands[0])
+    srcs = tuple(
+        Register.parse(text) for text in operands[1:1 + opcode.n_srcs]
+    )
+    remainder = operands[1 + opcode.n_srcs:]
+    imm = None
+    if opcode.uses_immediate:
+        _expect(remainder, 1, opcode)
+        imm = _parse_number(remainder[0])
+    else:
+        _expect(remainder, 0, opcode)
+    return Instruction(opcode, dest=dest, srcs=srcs, imm=imm)
+
+
+def _parse_memory_operand(
+    operands: List[str], opcode: Opcode
+) -> Tuple[Register, int, List[str]]:
+    """Parse ``base[offset]`` or ``base, offset`` from the operand list.
+
+    Returns the base register, the offset, and the remaining operands.
+    """
+    if not operands:
+        raise ValueError(f"{opcode.mnemonic} is missing its memory operand")
+    match = _MEM_RE.match(operands[0])
+    if match:
+        base = Register.parse(match.group(1))
+        offset = int(_parse_number(match.group(2)))
+        return base, offset, operands[1:]
+    if len(operands) < 2:
+        raise ValueError(
+            f"{opcode.mnemonic} memory operand needs base[offset] or "
+            f"base, offset"
+        )
+    base = Register.parse(operands[0])
+    offset = int(_parse_number(operands[1]))
+    return base, offset, operands[2:]
+
+
+def _parse_number(text: str):
+    text = text.strip()
+    try:
+        return int(text, 0)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ValueError(f"not a number: {text!r}") from exc
+
+
+def _expect(operands: List[str], count: int, opcode: Opcode) -> None:
+    if len(operands) != count:
+        raise ValueError(
+            f"{opcode.mnemonic} expected {count} more operand(s), "
+            f"got {len(operands)}"
+        )

@@ -1,0 +1,118 @@
+"""The :class:`Instruction` type shared by the assembler and all engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import FUClass, OpKind, Opcode
+from .registers import RegBank, Register
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction of the model ISA.
+
+    Fields not used by a given :class:`~repro.isa.opcodes.OpKind` are
+    ``None``:
+
+    * ALU ops use ``dest`` and ``srcs`` (plus ``imm`` for shift counts
+      and ``A_ADDI``).
+    * Immediates use ``dest`` and ``imm``.
+    * Loads use ``dest``, ``base`` and ``imm`` (address = base + imm).
+    * Stores use ``srcs[0]`` (the datum), ``base`` and ``imm``.
+    * Branches use ``srcs[0]`` (the tested register) and ``target``.
+    * Jumps use ``target``.
+
+    ``target`` is a label name until :meth:`repro.isa.program.Program.
+    finalize` resolves it to an instruction index.
+    """
+
+    opcode: Opcode
+    dest: Optional[Register] = None
+    srcs: Tuple[Register, ...] = ()
+    base: Optional[Register] = None
+    imm: Optional[object] = None
+    target: Optional[object] = None  # label str before, int index after
+    pc: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        kind = self.opcode.kind
+        if self.opcode.has_dest and self.dest is None:
+            raise ValueError(f"{self.opcode.mnemonic} requires a destination")
+        if not self.opcode.has_dest and self.dest is not None:
+            raise ValueError(
+                f"{self.opcode.mnemonic} must not have a destination"
+            )
+        if len(self.srcs) != self.opcode.n_srcs:
+            raise ValueError(
+                f"{self.opcode.mnemonic} takes {self.opcode.n_srcs} register "
+                f"source(s), got {len(self.srcs)}"
+            )
+        if self.opcode.is_memory and self.base is None:
+            raise ValueError(f"{self.opcode.mnemonic} requires a base register")
+        if self.opcode.is_memory and self.base.bank is not RegBank.A:
+            raise ValueError("memory base register must be an A register")
+        if kind in (OpKind.IMMEDIATE, OpKind.LOAD, OpKind.STORE) \
+                and self.imm is None:
+            raise ValueError(f"{self.opcode.mnemonic} requires an immediate")
+        if self.opcode.is_control_flow and self.target is None:
+            raise ValueError(f"{self.opcode.mnemonic} requires a target")
+
+    # -- dependency views ----------------------------------------------
+
+    @property
+    def sources(self) -> Tuple[Register, ...]:
+        """All registers read: explicit sources plus the address base."""
+        if self.base is not None:
+            return self.srcs + (self.base,)
+        return self.srcs
+
+    @property
+    def fu(self) -> FUClass:
+        return self.opcode.fu
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode.is_store
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode.is_memory
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode.is_branch
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self.opcode.is_control_flow
+
+    @property
+    def is_halt(self) -> bool:
+        return self.opcode is Opcode.HALT
+
+    # -- display ---------------------------------------------------------
+
+    def __str__(self) -> str:
+        op = self.opcode
+        parts = []
+        if self.dest is not None:
+            parts.append(self.dest.name)
+        if op.kind is OpKind.LOAD:
+            parts.append(f"{self.base.name}[{self.imm}]")
+        elif op.kind is OpKind.STORE:
+            parts.append(f"{self.base.name}[{self.imm}]")
+            parts.append(self.srcs[0].name)
+        else:
+            parts.extend(reg.name for reg in self.srcs)
+            if self.imm is not None:
+                parts.append(repr(self.imm))
+        if self.target is not None:
+            parts.append(f"-> {self.target}")
+        body = ", ".join(parts)
+        return f"{op.mnemonic} {body}".strip()

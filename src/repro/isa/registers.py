@@ -1,0 +1,172 @@
+"""Register model for the CRAY-1-flavoured scalar ISA.
+
+The model architecture (paper, section 2) has four register files:
+
+* ``A`` -- 8 address registers (24-bit integers; loop counters, addresses)
+* ``S`` -- 8 scalar registers (64-bit; integers and floating-point data)
+* ``B`` -- 64 backup registers for A (transmit-only)
+* ``T`` -- 64 backup registers for S (transmit-only)
+
+for a total of 144 registers.  The size of the register file is the whole
+motivation for the Tag Unit / RSTU / RUU line of designs: tagging every
+register in Tomasulo's style would need 144 tag-matching units.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+
+class RegBank(enum.Enum):
+    """The four register files of the model architecture."""
+
+    A = "A"
+    S = "S"
+    B = "B"
+    T = "T"
+
+    @property
+    def size(self) -> int:
+        """Number of registers in this bank (8 for A/S, 64 for B/T)."""
+        return _BANK_SIZES[self]
+
+
+_BANK_SIZES = {RegBank.A: 8, RegBank.S: 8, RegBank.B: 64, RegBank.T: 64}
+
+#: Total number of architectural registers (8 + 8 + 64 + 64).
+TOTAL_REGISTERS = sum(bank.size for bank in RegBank)
+
+
+@dataclass(frozen=True)
+class Register:
+    """An architectural register: a bank plus an index within the bank."""
+
+    bank: RegBank
+    index: int
+
+    def __lt__(self, other: "Register") -> bool:
+        if not isinstance(other, Register):
+            return NotImplemented
+        return self.flat_index < other.flat_index
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.bank.size:
+            raise ValueError(
+                f"register index {self.index} out of range for bank "
+                f"{self.bank.value} (size {self.bank.size})"
+            )
+
+    @property
+    def name(self) -> str:
+        """Assembly name, e.g. ``A0``, ``S7``, ``B63``."""
+        return f"{self.bank.value}{self.index}"
+
+    @property
+    def flat_index(self) -> int:
+        """Index into a flat 0..143 register numbering (used as tag base)."""
+        return _BANK_OFFSETS[self.bank] + self.index
+
+    def __repr__(self) -> str:
+        return self.name
+
+    @classmethod
+    def parse(cls, text: str) -> "Register":
+        """Parse an assembly register name such as ``A3`` or ``T17``."""
+        text = text.strip().upper()
+        if len(text) < 2 or text[0] not in "ASBT":
+            raise ValueError(f"not a register name: {text!r}")
+        try:
+            index = int(text[1:])
+        except ValueError as exc:
+            raise ValueError(f"not a register name: {text!r}") from exc
+        return cls(RegBank(text[0]), index)
+
+
+_BANK_OFFSETS = {RegBank.A: 0, RegBank.S: 8, RegBank.B: 16, RegBank.T: 80}
+
+
+def A(index: int) -> Register:
+    """Address register ``A<index>``."""
+    return Register(RegBank.A, index)
+
+
+def S(index: int) -> Register:
+    """Scalar register ``S<index>``."""
+    return Register(RegBank.S, index)
+
+
+def B(index: int) -> Register:
+    """Backup address register ``B<index>``."""
+    return Register(RegBank.B, index)
+
+
+def T(index: int) -> Register:
+    """Backup scalar register ``T<index>``."""
+    return Register(RegBank.T, index)
+
+
+def all_registers() -> Iterator[Register]:
+    """Iterate over every architectural register (144 of them)."""
+    for bank in RegBank:
+        for index in range(bank.size):
+            yield Register(bank, index)
+
+
+class RegisterFile:
+    """Architectural register values for all four banks.
+
+    A registers hold 24-bit integers and S registers hold 64-bit values
+    (ints or floats); B mirrors A's width and T mirrors S's.  All values
+    are plain Python numbers; width discipline is applied by the ISA
+    semantics (:mod:`repro.isa.semantics`), not by storage.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: Dict[Register, object] = {
+            reg: 0 for reg in all_registers()
+        }
+
+    def read(self, reg: Register):
+        """Return the current value of ``reg``."""
+        return self._values[reg]
+
+    def write(self, reg: Register, value) -> None:
+        """Set the value of ``reg``."""
+        self._values[reg] = value
+
+    def copy(self) -> "RegisterFile":
+        """Return an independent snapshot of this register file."""
+        clone = RegisterFile.__new__(RegisterFile)
+        clone._values = dict(self._values)
+        return clone
+
+    def snapshot(self) -> Dict[str, object]:
+        """Return ``{name: value}`` for every register (for comparisons)."""
+        return {reg.name: value for reg, value in self._values.items()}
+
+    def nonzero(self) -> Dict[str, object]:
+        """Return ``{name: value}`` restricted to non-zero registers."""
+        return {
+            reg.name: value for reg, value in self._values.items() if value
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegisterFile):
+            return NotImplemented
+        return self._values == other._values
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def diff(self, other: "RegisterFile") -> Dict[str, Tuple[object, object]]:
+        """Return ``{name: (self_value, other_value)}`` where they differ."""
+        return {
+            reg.name: (self._values[reg], other._values[reg])
+            for reg in all_registers()
+            if self._values[reg] != other._values[reg]
+        }

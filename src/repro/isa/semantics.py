@@ -1,0 +1,154 @@
+"""Pure value semantics of the model ISA.
+
+Every engine (the golden functional executor and all timing simulators)
+computes results through these functions, so architectural equivalence
+between engines is a property of the *issue logic*, not of duplicated
+arithmetic code.
+
+Width discipline follows the CRAY-1: A-register results wrap to 24-bit
+two's complement, S-register integer results wrap to 64-bit two's
+complement, floating results are IEEE doubles.  Arithmetic faults
+(reciprocal of zero, float overflow to infinity) raise
+:class:`ArithmeticFault` -- the timing engines convert these into the
+paper's "instruction-generated traps".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .opcodes import Opcode
+from .registers import RegBank, Register
+
+A_BITS = 24
+S_BITS = 64
+
+
+class ArithmeticFault(Exception):
+    """An instruction-generated arithmetic trap (paper, section 1)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def wrap_signed(value: int, bits: int) -> int:
+    """Wrap an integer to ``bits``-bit two's complement."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def wrap_a(value: int) -> int:
+    """Wrap to the 24-bit A-register width."""
+    return wrap_signed(int(value), A_BITS)
+
+
+def wrap_s_int(value: int) -> int:
+    """Wrap to the 64-bit S-register integer width."""
+    return wrap_signed(int(value), S_BITS)
+
+
+def _as_int(value) -> int:
+    """Coerce an operand to an integer for logical/integer ops."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    raise ArithmeticFault(f"integer operation on non-integer value {value!r}")
+
+
+def _as_float(value) -> float:
+    return float(value)
+
+
+def coerce_for_bank(reg: Register, value):
+    """Apply the destination register file's width discipline."""
+    if reg.bank in (RegBank.A, RegBank.B):
+        return wrap_a(_as_int(value))
+    if isinstance(value, float):
+        return value
+    return wrap_s_int(_as_int(value))
+
+
+def evaluate(opcode: Opcode, operands: Sequence, imm=None):
+    """Compute the raw result of an ALU/immediate opcode.
+
+    ``operands`` are the source register values in order.  The result is
+    *not* yet width-coerced; callers pass it through
+    :func:`coerce_for_bank` with the destination register (this keeps MOV
+    between banks well-defined).
+    """
+    if opcode in (Opcode.A_ADD, Opcode.S_ADD):
+        return _as_int(operands[0]) + _as_int(operands[1])
+    if opcode in (Opcode.A_SUB, Opcode.S_SUB):
+        return _as_int(operands[0]) - _as_int(operands[1])
+    if opcode is Opcode.A_MUL:
+        return _as_int(operands[0]) * _as_int(operands[1])
+    if opcode is Opcode.A_ADDI:
+        return _as_int(operands[0]) + int(imm)
+    if opcode in (Opcode.A_IMM, Opcode.S_IMM):
+        return imm
+    if opcode is Opcode.S_AND:
+        return _as_int(operands[0]) & _as_int(operands[1])
+    if opcode is Opcode.S_OR:
+        return _as_int(operands[0]) | _as_int(operands[1])
+    if opcode is Opcode.S_XOR:
+        return _as_int(operands[0]) ^ _as_int(operands[1])
+    if opcode is Opcode.S_SHL:
+        return _shift(operands[0], int(imm))
+    if opcode is Opcode.S_SHR:
+        return _shift(operands[0], -int(imm))
+    if opcode is Opcode.F_ADD:
+        return _check_float(_as_float(operands[0]) + _as_float(operands[1]))
+    if opcode is Opcode.F_SUB:
+        return _check_float(_as_float(operands[0]) - _as_float(operands[1]))
+    if opcode is Opcode.F_MUL:
+        return _check_float(_as_float(operands[0]) * _as_float(operands[1]))
+    if opcode is Opcode.F_RECIP:
+        denom = _as_float(operands[0])
+        if denom == 0.0:
+            raise ArithmeticFault("reciprocal of zero")
+        return _check_float(1.0 / denom)
+    if opcode is Opcode.MOV:
+        return operands[0]
+    raise ValueError(f"{opcode.mnemonic} has no ALU semantics")
+
+
+def _shift(value, amount: int):
+    """Logical shift on the 64-bit pattern (positive = left)."""
+    pattern = _as_int(value) & ((1 << S_BITS) - 1)
+    if amount >= 0:
+        pattern = (pattern << amount) & ((1 << S_BITS) - 1)
+    else:
+        pattern >>= -amount
+    return wrap_s_int(pattern)
+
+
+def _check_float(value: float) -> float:
+    if math.isinf(value) or math.isnan(value):
+        raise ArithmeticFault(f"floating-point range error ({value})")
+    return value
+
+
+def branch_taken(opcode: Opcode, value) -> bool:
+    """Evaluate a conditional branch's condition on the tested value."""
+    if opcode is Opcode.BR_ZERO:
+        return value == 0
+    if opcode is Opcode.BR_NONZERO:
+        return value != 0
+    if opcode is Opcode.BR_PLUS:
+        return value >= 0
+    if opcode is Opcode.BR_MINUS:
+        return value < 0
+    raise ValueError(f"{opcode.mnemonic} is not a conditional branch")
+
+
+def effective_address(base_value, imm) -> int:
+    """Compute a memory address (word-addressed, wrapped to A width)."""
+    return wrap_a(_as_int(base_value) + int(imm))

@@ -1,0 +1,128 @@
+"""Shared reservation-station machinery for the windowed engines.
+
+Tomasulo, the Tag Unit, the RS pool, the RSTU and the RUU all hold
+waiting instructions in entries of the same shape: per-source operand
+slots that either have a value or snoop a tag, a destination tag, and
+execution bookkeeping.  The engines differ in how tags are *allocated*
+and when entries are *freed* -- that logic stays in each engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.instruction import Instruction
+from ..isa.semantics import effective_address
+
+
+class Operand:
+    """One source-operand slot of a reservation station."""
+
+    __slots__ = ("ready", "value", "tag")
+
+    def __init__(self, ready: bool, value=None, tag=None) -> None:
+        self.ready = ready
+        self.value = value
+        self.tag = tag
+
+    def capture(self, value) -> None:
+        """A matching tag appeared on a bus: latch the value."""
+        self.ready = True
+        self.value = value
+        self.tag = None
+
+    def __repr__(self) -> str:
+        if self.ready:
+            return f"Operand(ready, {self.value!r})"
+        return f"Operand(waiting on {self.tag!r})"
+
+
+class WindowEntry:
+    """A reservation station (or RSTU/RUU slot) holding one instruction.
+
+    ``operands`` are in :attr:`Instruction.sources` order -- explicit
+    sources first, then the memory base register (if any).  For a store,
+    ``operands[0]`` is the datum.
+    """
+
+    __slots__ = (
+        "seq",
+        "inst",
+        "operands",
+        "dest_tag",
+        "dispatched",
+        "executed_cycle",
+        "result",
+        "fault",
+        "address",
+        "datum_published",
+        "spec_depth",
+        "squashed",
+    )
+
+    def __init__(self, seq: int, inst: Instruction,
+                 operands: List[Operand], dest_tag=None) -> None:
+        self.seq = seq
+        self.inst = inst
+        self.operands = operands
+        self.dest_tag = dest_tag
+        self.dispatched = False
+        self.executed_cycle: Optional[int] = None
+        self.result = None
+        self.fault: Optional[Exception] = None
+        self.address: Optional[int] = None
+        self.datum_published = False
+        self.spec_depth = 0        # unresolved predicted branches older
+        self.squashed = False      # dropped by recovery; ignore completions
+
+    # -- readiness ---------------------------------------------------------
+
+    def operands_ready(self) -> bool:
+        return all(operand.ready for operand in self.operands)
+
+    @property
+    def base_operand(self) -> Operand:
+        """The address-base operand of a memory instruction."""
+        assert self.inst.is_memory
+        return self.operands[-1]
+
+    @property
+    def datum_operand(self) -> Operand:
+        """The datum operand of a store."""
+        assert self.inst.is_store
+        return self.operands[0]
+
+    def address_computable(self) -> bool:
+        return self.inst.is_memory and self.base_operand.ready
+
+    def compute_address(self) -> int:
+        """Resolve and cache the effective address (base must be ready)."""
+        if self.address is None:
+            self.address = effective_address(
+                self.base_operand.value, self.inst.imm
+            )
+        return self.address
+
+    @property
+    def executed(self) -> bool:
+        return self.executed_cycle is not None
+
+    def operand_values(self) -> List[object]:
+        """Values of the explicit sources (excludes the address base)."""
+        count = len(self.inst.srcs)
+        return [operand.value for operand in self.operands[:count]]
+
+    def snoop(self, tag, value) -> bool:
+        """Capture ``value`` into any operand waiting on ``tag``."""
+        hit = False
+        for operand in self.operands:
+            if not operand.ready and operand.tag == tag:
+                operand.capture(value)
+                hit = True
+        return hit
+
+    def __repr__(self) -> str:
+        state = "done" if self.executed else (
+            "dispatched" if self.dispatched else "waiting"
+        )
+        return f"<#{self.seq} {self.inst} [{state}]>"

@@ -1,0 +1,236 @@
+"""The dispatch stack: out-of-order issue *without* renaming.
+
+The paper cites Acosta, Kjelstrup & Torng [18] as the other family of
+dependency-resolution mechanisms in the literature.  Their *dispatch
+stack* holds decoded instructions in a central window and issues any
+instruction whose hazards are clear -- but unlike Tomasulo's scheme it
+captures **no operand values and allocates no tags**, so it must
+respect anti- and output-dependencies in addition to true ones.  An
+entry may dispatch only when, among *older* window entries:
+
+* no one still writes any of its sources (RAW),
+* no one still reads its destination without having dispatched (WAR --
+  operands are read from the register file at dispatch), and
+* no one still writes its destination (WAW -- results go straight to
+  the register file at completion).
+
+Comparing this engine against Tomasulo/RSTU isolates the value of
+register renaming: both issue out of order from a window, but the
+dispatch stack serializes on WAR/WAW hazards that multiple register
+instances simply remove (ablation A3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.instruction import Instruction
+from ..isa.registers import Register
+from ..isa.semantics import coerce_for_bank, evaluate
+from ..machine.engine import Engine
+from ..machine.faults import FAULT_TYPES
+from ..machine.stats import StallReason
+from ..memdep import FROM_MEMORY, MemoryDependencyUnit
+from .common import WindowEntry
+
+
+class _StackEntry:
+    """One dispatch-stack slot (no operand copies, no tags)."""
+
+    __slots__ = ("seq", "inst", "dispatched", "done", "result",
+                 "fault", "address")
+
+    def __init__(self, seq: int, inst: Instruction) -> None:
+        self.seq = seq
+        self.inst = inst
+        self.dispatched = False
+        self.done = False
+        self.result = None
+        self.fault: Optional[Exception] = None
+        self.address: Optional[int] = None
+
+
+class DispatchStackEngine(Engine):
+    """Centralized out-of-order issue with no register renaming."""
+
+    name = "dispatch-stack"
+    claims_precise_interrupts = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.mdu = MemoryDependencyUnit(self.config.n_load_registers)
+        self.stack: List[_StackEntry] = []
+        self._inflight = 0
+        self.occupancy_accum = 0
+
+    # ------------------------------------------------------------------
+
+    def _try_issue(self, inst: Instruction, seq: int) -> bool:
+        if len(self.stack) >= self.config.window_size:
+            self.stall(StallReason.WINDOW_FULL)
+            return False
+        if inst.is_memory and not self.mdu.can_accept():
+            self.stall(StallReason.NO_LOAD_REGISTER)
+            return False
+        entry = _StackEntry(seq, inst)
+        self.stack.append(entry)
+        if inst.is_memory:
+            self.mdu.add(seq, inst.is_store)
+        self.note(seq, "issue")
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _phase_dispatch(self) -> None:
+        if self.interrupt_record is not None:
+            return
+        self.occupancy_accum += len(self.stack)
+        self._resolve_addresses()
+        for entry in self.stack:
+            if entry.dispatched:
+                continue
+            if not self._hazards_clear(entry):
+                continue
+            if self._dispatch(entry):
+                break  # one dispatch port, as in the base RSTU machine
+
+    def _resolve_addresses(self) -> None:
+        """Addresses resolve in program order once hazard-free.
+
+        Without operand capture, the base register is read at
+        resolution time; this is safe only when no older entry still
+        writes it -- the same check dispatching uses.
+        """
+        while True:
+            seq = self.mdu.oldest_unresolved()
+            if seq is None:
+                return
+            entry = next(e for e in self.stack if e.seq == seq)
+            if not self._raw_clear_for(entry, [entry.inst.base]):
+                return
+            base_value = self.regs.read(entry.inst.base)
+            from ..isa.semantics import effective_address
+            entry.address = effective_address(base_value, entry.inst.imm)
+            self.mdu.resolve(seq, entry.address)
+            if entry.inst.is_store:
+                # datum is read at dispatch; publish then
+                pass
+
+    def _raw_clear_for(self, entry: _StackEntry, regs) -> bool:
+        for other in self.stack:
+            if other.seq >= entry.seq:
+                break
+            if other.done or other.inst.dest is None:
+                continue
+            if other.inst.dest in regs:
+                return False
+        return True
+
+    def _hazards_clear(self, entry: _StackEntry) -> bool:
+        inst = entry.inst
+        sources = inst.sources
+        dest = inst.dest
+        for other in self.stack:
+            if other.seq >= entry.seq:
+                break
+            other_inst = other.inst
+            # RAW: an older, unfinished writer of one of our sources.
+            if not other.done and other_inst.dest is not None \
+                    and other_inst.dest in sources:
+                return False
+            if dest is not None:
+                # WAR: an older entry reads our destination and has not
+                # yet picked its operands up (reads happen at dispatch).
+                if not other.dispatched and dest in other_inst.sources:
+                    return False
+                # WAW: an older, unfinished writer of our destination.
+                if not other.done and other_inst.dest == dest:
+                    return False
+        if inst.is_memory:
+            if not self.mdu.is_resolved(entry.seq):
+                return False
+            if inst.is_store:
+                return self.mdu.store_may_dispatch(entry.seq)
+            return self.mdu.load_source_ready(entry.seq)
+        return True
+
+    def _dispatch(self, entry: _StackEntry) -> bool:
+        inst = entry.inst
+        if not self.fus.can_accept(inst.fu, self.cycle):
+            return False
+        latency = self.config.latency(inst.fu)
+        if inst.is_load and self.mdu.binding_of(entry.seq) is not FROM_MEMORY:
+            latency = self.config.forward_latency
+        done_cycle = self.cycle + latency
+        if inst.dest is not None and not self.result_bus.is_free(done_cycle):
+            self.result_bus.conflicts += 1
+            return False
+        # operands are read from the register file *now*
+        try:
+            if inst.is_load:
+                if self.mdu.binding_of(entry.seq) is FROM_MEMORY:
+                    raw = self.memory.read(entry.address)
+                else:
+                    raw = self.mdu.forwarded_value(entry.seq)
+                entry.result = coerce_for_bank(inst.dest, raw)
+            elif inst.is_store:
+                datum = self.regs.read(inst.srcs[0])
+                self.mdu.publish(entry.seq, datum)
+                self.memory.write(entry.address, datum)
+            else:
+                operands = [self.regs.read(reg) for reg in inst.srcs]
+                raw = evaluate(inst.opcode, operands, inst.imm)
+                entry.result = coerce_for_bank(inst.dest, raw)
+        except FAULT_TYPES as fault:
+            entry.fault = fault
+        self.fus.accept(inst.fu, self.cycle)
+        if inst.dest is not None:
+            self.result_bus.reserve(done_cycle)
+        entry.dispatched = True
+        if inst.is_memory:
+            self.mdu.mark_dispatched(entry.seq)
+        self._schedule_completion(done_cycle, entry)
+        self._inflight += 1
+        self.note(entry.seq, "dispatch")
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _phase_complete(self) -> None:
+        for entry in self._pop_completions():
+            self._inflight -= 1
+            if entry.fault is not None:
+                self._take_interrupt(
+                    entry.fault, seq=entry.seq, pc=entry.inst.pc,
+                    precise=False,
+                )
+                return
+            entry.done = True
+            if entry.inst.dest is not None:
+                self.regs.write(entry.inst.dest, entry.result)
+            if entry.inst.is_memory:
+                if entry.inst.is_load:
+                    self.mdu.publish(entry.seq, entry.result)
+                self.mdu.finish(entry.seq)
+            self.stack.remove(entry)
+            self.note(entry.seq, "complete")
+            self._note_retired(entry.seq)
+
+    # ------------------------------------------------------------------
+
+    def _register_pending(self, reg: Register) -> bool:
+        return any(
+            not entry.done and entry.inst.dest == reg
+            for entry in self.stack
+        )
+
+    def _drained(self) -> bool:
+        return not self.stack and self._inflight == 0
+
+    def result(self):
+        sim_result = super().result()
+        if self.cycle:
+            sim_result.extra["avg_window_occupancy"] = (
+                self.occupancy_accum / self.cycle
+            )
+        return sim_result

@@ -1,0 +1,58 @@
+"""The RS Tag Unit -- merged reservation stations and tags (paper §3.2.3).
+
+In the Tag Unit + RS Pool design, every instruction in the pool or in a
+functional unit holds exactly one tag, so the tag pool and the station
+pool can be one structure: the **RSTU**.  Reserving a station *is*
+reserving a tag:
+
+* issue takes a free RSTU entry (blocking when full) -- the entry index
+  is the tag;
+* the associative latest-copy logic lives on the entries themselves;
+* an entry is occupied until its instruction *completes* (a station is
+  "wasted" while the instruction is in a functional unit -- the paper
+  accepts this because the same organization later yields the RUU);
+* completion broadcasts on the result bus, updates the register file if
+  the entry holds the latest copy, and frees the entry.
+
+This is the machine of Tables 2 (one dispatch path) and 3 (two dispatch
+paths).  It does *not* implement precise interrupts: entries complete
+and update architectural state out of program order.
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Instruction
+from ..isa.registers import Register
+from .rspool import RSPoolEngine
+
+
+class RSTUEngine(RSPoolEngine):
+    """Merged reservation-station/tag pool, out-of-order commitment.
+
+    ``config.window_size`` is the number of RSTU entries (the x-axis of
+    Tables 2 and 3); ``config.dispatch_paths`` selects between them.
+    """
+
+    name = "rstu"
+
+    # -- tags are the entries themselves --------------------------------
+
+    def _allocate_dest_tag(self, dest: Register, seq: int):
+        """Reserving the station reserved the tag: use the dynamic seq as
+        the unique identifier of this entry's slot.  Capacity was already
+        checked by ``_station_available``; the old latest copy (if any)
+        is superseded by updating the latest-tag map."""
+        self._reg_tag[dest] = seq
+        return seq
+
+    def _writeback(self, entry) -> None:
+        """Write the register file only from the latest copy."""
+        dest = entry.inst.dest
+        if self._reg_tag.get(dest) == entry.dest_tag:
+            self.regs.write(dest, entry.result)
+            del self._reg_tag[dest]
+
+    # -- entries persist through execution --------------------------------
+
+    def _entry_released_at_dispatch(self) -> bool:
+        return False

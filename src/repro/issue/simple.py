@@ -1,0 +1,139 @@
+"""The simple instruction issue mechanism (the paper's Table 1 baseline).
+
+This is CRAY-1-style issue logic: instructions issue strictly in program
+order from the decode stage, and an instruction *blocks issue* until
+
+* none of its source registers is busy (reserved by an in-flight write),
+* its destination register is not busy,
+* its functional unit can accept an operation, and
+* the single result bus is free at the cycle its result will emerge
+  (the bus is reserved at issue; CRAY-1 latencies are fixed, so this is
+  decidable at issue time).
+
+There is no window: a stalled instruction holds the decode stage and
+everything behind it.  Instructions still *complete* out of program
+order (different functional-unit latencies), which is exactly why this
+machine has imprecise interrupts -- the motivating problem of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import OpKind
+from ..isa.registers import Register
+from ..isa.semantics import (
+    coerce_for_bank,
+    effective_address,
+    evaluate,
+)
+from ..machine.engine import Engine
+from ..machine.faults import FAULT_TYPES
+from ..machine.stats import StallReason
+
+
+class _Completion:
+    """An in-flight instruction awaiting its writeback cycle."""
+
+    __slots__ = ("seq", "inst", "value", "fault")
+
+    def __init__(self, seq: int, inst: Instruction, value=None,
+                 fault: Optional[Exception] = None) -> None:
+        self.seq = seq
+        self.inst = inst
+        self.value = value
+        self.fault = fault
+
+
+class SimpleEngine(Engine):
+    """In-order blocking issue with register busy bits."""
+
+    name = "simple"
+    claims_precise_interrupts = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._busy: Set[Register] = set()
+        self._inflight = 0
+
+    # ------------------------------------------------------------------
+
+    def _try_issue(self, inst: Instruction, seq: int) -> bool:
+        for reg in inst.sources:
+            if reg in self._busy:
+                self.stall(StallReason.SOURCE_BUSY)
+                return False
+        dest = inst.dest
+        if dest is not None and dest in self._busy:
+            self.stall(StallReason.DEST_BUSY)
+            return False
+        if not self.fus.can_accept(inst.fu, self.cycle):
+            self.stall(StallReason.FU_BUSY)
+            return False
+        done_cycle = self.fus.result_cycle(inst.fu, self.cycle)
+        if dest is not None and not self.result_bus.is_free(done_cycle):
+            self.stall(StallReason.RESULT_BUS)
+            return False
+
+        value, fault = self._execute(inst)
+        self.fus.accept(inst.fu, self.cycle)
+        if dest is not None:
+            self.result_bus.reserve(done_cycle)
+            self._busy.add(dest)
+        self._schedule_completion(done_cycle, _Completion(seq, inst, value, fault))
+        self._inflight += 1
+        self.note(seq, "issue")
+        self.note(seq, "dispatch")  # issue is dispatch on this machine
+        return True
+
+    def _execute(self, inst: Instruction) -> Tuple[object, Optional[Exception]]:
+        """Perform the instruction's state reads (and store writes) now.
+
+        In-order issue means register reads and memory accesses at issue
+        time see the correct architectural values: per-address memory
+        order equals program order.  Stores therefore update memory at
+        issue -- which is precisely what makes this machine's interrupts
+        imprecise with respect to memory.
+        """
+        kind = inst.opcode.kind
+        try:
+            if kind is OpKind.LOAD:
+                address = effective_address(self.regs.read(inst.base), inst.imm)
+                value = self.memory.read(address)
+                return coerce_for_bank(inst.dest, value), None
+            if kind is OpKind.STORE:
+                address = effective_address(self.regs.read(inst.base), inst.imm)
+                self.memory.write(address, self.regs.read(inst.srcs[0]))
+                return None, None
+            operands = [self.regs.read(reg) for reg in inst.srcs]
+            raw = evaluate(inst.opcode, operands, inst.imm)
+            return coerce_for_bank(inst.dest, raw), None
+        except FAULT_TYPES as fault:
+            return None, fault
+
+    # ------------------------------------------------------------------
+
+    def _phase_complete(self) -> None:
+        for completion in self._pop_completions():
+            self._inflight -= 1
+            if completion.fault is not None:
+                self._take_interrupt(
+                    completion.fault,
+                    seq=completion.seq,
+                    pc=completion.inst.pc,
+                    precise=False,
+                )
+                return
+            dest = completion.inst.dest
+            if dest is not None:
+                self.regs.write(dest, completion.value)
+                self._busy.discard(dest)
+            self.note(completion.seq, "complete")
+            self._note_retired(completion.seq)
+
+    def _register_pending(self, reg: Register) -> bool:
+        return reg in self._busy
+
+    def _drained(self) -> bool:
+        return self._inflight == 0

@@ -1,0 +1,35 @@
+"""Machine substrate: configuration, memory, buses, FUs, engine base."""
+
+from .config import CRAY1_LIKE, MachineConfig, config_for_window
+from .engine import Engine
+from .faults import FAULT_TYPES, ArithmeticFault, PageFault, SimulationError
+from .fetch import InstructionBuffers
+from .functional_units import FunctionalUnit, FUPool
+from .interrupts import InterruptRecord
+from .memory import Memory
+from .result_bus import BroadcastBus, ResultBus
+from .stats import SimResult, StallReason, aggregate, speedup
+from .timeline import Timeline
+
+__all__ = [
+    "ArithmeticFault",
+    "BroadcastBus",
+    "CRAY1_LIKE",
+    "Engine",
+    "FAULT_TYPES",
+    "FUPool",
+    "FunctionalUnit",
+    "InstructionBuffers",
+    "InterruptRecord",
+    "MachineConfig",
+    "Timeline",
+    "Memory",
+    "PageFault",
+    "ResultBus",
+    "SimResult",
+    "SimulationError",
+    "StallReason",
+    "aggregate",
+    "config_for_window",
+    "speedup",
+]

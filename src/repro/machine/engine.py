@@ -1,0 +1,341 @@
+"""Cycle-driven engine base shared by every issue mechanism.
+
+The paper evaluates six machines that differ *only* in their decode/issue
+logic (simple issue, Tomasulo, Tag Unit, RS pool, RSTU, RUU).  Everything
+else -- fetch, the decode stage, branch handling, functional units, the
+single result bus, statistics -- is identical, and lives here.
+
+A cycle ("tick") has four phases, in order:
+
+1. **complete** -- results scheduled for this cycle appear on the result
+   bus and are broadcast (reservation stations capture operands,
+   registers/tag units update).
+2. **commit** -- in-order state update (RUU family only; no-op
+   otherwise).  An instruction may commit no earlier than the cycle
+   *after* it completes.
+3. **dispatch** -- ready instructions move from reservation stations to
+   functional units, reserving the result bus for their completion cycle.
+4. **issue** -- the decode stage refills from the fetch unit and tries to
+   issue one instruction into the machine.  Branches are resolved in the
+   decode stage (they never enter the window); a resolved branch charges
+   the configured dead cycles before fetch resumes.
+
+Engines are *execution-driven*: they compute real values through the
+shared ISA semantics, so the test-suite can require every engine to
+finish with exactly the golden model's architectural state.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from collections import Counter
+from typing import List, Optional, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.program import Program
+from ..isa.registers import Register, RegisterFile
+from ..isa.semantics import branch_taken
+from .config import CRAY1_LIKE, MachineConfig
+from .faults import SimulationError
+from .functional_units import FUPool
+from .interrupts import InterruptRecord
+from .memory import Memory
+from .result_bus import ResultBus
+from .stats import SimResult, StallReason
+
+
+class Engine(abc.ABC):
+    """Abstract cycle-driven simulator for one issue mechanism."""
+
+    #: Engine name used in results and table headers.
+    name = "abstract"
+    #: Does this engine guarantee precise interrupts?
+    claims_precise_interrupts = False
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[MachineConfig] = None,
+        memory: Optional[Memory] = None,
+        registers: Optional[RegisterFile] = None,
+    ) -> None:
+        self.program = program
+        self.config = config or CRAY1_LIKE
+        self.regs = registers if registers is not None else RegisterFile()
+        self.memory = memory if memory is not None else Memory()
+        self.fus = FUPool(self.config)
+        self.result_bus = ResultBus()
+
+        self.cycle = 0
+        self.pc = 0
+        self.decode_slot: Optional[Instruction] = None
+        self.decode_seq = -1
+        self.fetch_resume_cycle = 0
+        self.fetch_done = False
+
+        self.next_seq = 0
+        self.retired = 0
+        self.retire_log: List[int] = []
+        self.stalls: Counter = Counter()
+        self.branches = 0
+        self.branches_taken = 0
+        self.interrupt_record: Optional[InterruptRecord] = None
+        self.interrupt_count = 0
+        self.squashed = 0
+        self.mispredictions = 0
+        self._completions: List[Tuple[int, int, object]] = []
+        self._completion_ids = 0
+        #: Optional per-instruction pipeline recorder (see
+        #: :mod:`repro.machine.timeline`); attach before ``run()``.
+        self.timeline = None
+        #: Optional instruction-buffer model (see
+        #: :mod:`repro.machine.fetch`); when None, fetch always hits --
+        #: the paper's assumption (§2.2).
+        self.fetch_unit = None
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: Optional[int] = None) -> SimResult:
+        """Simulate until the program drains, a fault interrupts, or the
+        cycle limit trips (which raises -- it indicates a deadlock bug).
+        """
+        limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        while not self.done():
+            if self.cycle >= limit:
+                raise SimulationError(
+                    f"{self.name}: exceeded {limit} cycles on "
+                    f"{self.program.name!r} (pc={self.pc}, "
+                    f"decode={self.decode_slot})"
+                )
+            self.tick()
+            self.cycle += 1
+            if self.interrupt_record is not None:
+                break
+            if self.cycle % 4096 == 0:
+                self.result_bus.release_past(self.cycle)
+        return self.result()
+
+    def continue_run(self, max_cycles: Optional[int] = None) -> SimResult:
+        """Resume after an interrupt has been serviced.
+
+        Only meaningful for engines with precise interrupts: the caller
+        services the fault (e.g. ``memory.service_fault``) and execution
+        restarts at the interrupt PC.
+        """
+        if self.interrupt_record is None:
+            raise SimulationError("no interrupt to resume from")
+        if not self.claims_precise_interrupts:
+            raise SimulationError(
+                f"{self.name} has imprecise interrupts and cannot resume"
+            )
+        self._prepare_resume()
+        self.interrupt_record = None
+        return self.run(max_cycles)
+
+    def _prepare_resume(self) -> None:
+        """Hook: restore engine bookkeeping before resuming from a trap."""
+        raise NotImplementedError
+
+    def tick(self) -> None:
+        """Advance one clock cycle through the four phases."""
+        self._phase_complete()
+        self._phase_commit()
+        self._phase_dispatch()
+        self._phase_issue()
+
+    def done(self) -> bool:
+        """All instructions fetched, issued, and drained?"""
+        return (
+            self.fetch_done
+            and self.decode_slot is None
+            and self._drained()
+        )
+
+    def result(self) -> SimResult:
+        """Build the :class:`SimResult` for the run so far."""
+        result = SimResult(
+            engine=self.name,
+            workload=self.program.name,
+            cycles=self.cycle,
+            instructions=self.retired,
+            stalls=Counter(self.stalls),
+            branches=self.branches,
+            branches_taken=self.branches_taken,
+            interrupts=self.interrupt_count,
+            mispredictions=self.mispredictions,
+            squashed=self.squashed,
+        )
+        result.extra["fu_utilization"] = {
+            fu.value: count
+            for fu, count in self.fus.utilization().items()
+            if count
+        }
+        result.extra["result_bus_conflicts"] = self.result_bus.conflicts
+        if self.interrupt_record is not None:
+            result.extra["interrupt"] = self.interrupt_record
+        return result
+
+    # ------------------------------------------------------------------
+    # phases (engines override what they need)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _phase_complete(self) -> None:
+        """Deliver this cycle's functional-unit results."""
+
+    def _phase_commit(self) -> None:
+        """In-order state update; only the RUU family implements this."""
+
+    def _phase_dispatch(self) -> None:
+        """Move ready reservation-station entries to functional units."""
+
+    def _phase_issue(self) -> None:
+        if self.interrupt_record is not None:
+            return
+        for _ in range(self.config.issue_width):
+            self._refill_decode()
+            inst = self.decode_slot
+            if inst is None:
+                return
+            if inst.is_halt:
+                self.fetch_done = True
+                self.decode_slot = None
+                return
+            if inst.opcode is Opcode.NOP:
+                self._note_retired(self.decode_seq)
+                self.decode_slot = None
+                continue
+            if inst.is_control_flow:
+                # A branch (resolved or stalled) ends the issue group.
+                self._issue_control_flow(inst)
+                return
+            if not self._try_issue(inst, self.decode_seq):
+                return
+            self.decode_slot = None
+
+    # ------------------------------------------------------------------
+    # fetch / decode
+    # ------------------------------------------------------------------
+
+    def _refill_decode(self) -> None:
+        if self.decode_slot is not None or self.fetch_done:
+            return
+        if self.cycle < self.fetch_resume_cycle:
+            self.stall(StallReason.BRANCH_DEAD)
+            return
+        if self.fetch_unit is not None:
+            delay = self.fetch_unit.access(self.pc, self.cycle)
+            if delay:
+                self.fetch_resume_cycle = self.cycle + delay
+                self.stall(StallReason.FETCH_MISS)
+                return
+        inst = self.program[self.pc]
+        self.decode_slot = inst
+        self.decode_seq = self.next_seq
+        self.next_seq += 1
+        self.pc = inst.pc + 1
+        self.note(self.decode_seq, "decode")
+
+    def _issue_control_flow(self, inst: Instruction) -> None:
+        """Resolve a branch or jump in the decode stage.
+
+        Branches wait here until their condition register is readable
+        under the engine's bypass policy (``_branch_operand``), then
+        redirect fetch and charge the dead-cycle penalty.
+        """
+        if inst.opcode is Opcode.JMP:
+            taken = True
+        else:
+            ready, value = self._branch_operand(inst.srcs[0])
+            if not ready:
+                self.stall(StallReason.BRANCH_WAIT)
+                return
+            taken = branch_taken(inst.opcode, value)
+        self.branches += 1
+        if taken:
+            self.branches_taken += 1
+            self.pc = inst.target
+            penalty = self.config.branch_taken_penalty
+        else:
+            self.pc = inst.pc + 1
+            penalty = self.config.branch_not_taken_penalty
+        self.fetch_resume_cycle = self.cycle + 1 + penalty
+        self.note(self.decode_seq, "issue")
+        self.note(self.decode_seq, "commit")
+        self._note_retired(self.decode_seq)
+        self.decode_slot = None
+
+    def _branch_operand(self, reg: Register) -> Tuple[bool, object]:
+        """Can the decode stage read ``reg`` now?  Default: the register
+        must have no pending writes, then the register file is current.
+        Engines with bypass paths override this.
+        """
+        if self._register_pending(reg):
+            return False, None
+        return True, self.regs.read(reg)
+
+    @abc.abstractmethod
+    def _register_pending(self, reg: Register) -> bool:
+        """Is there an uncompleted write to ``reg`` in flight?"""
+
+    @abc.abstractmethod
+    def _try_issue(self, inst: Instruction, seq: int) -> bool:
+        """Attempt to issue ``inst`` into the machine.  Return True if it
+        left the decode stage this cycle; on False, record a stall.
+        """
+
+    @abc.abstractmethod
+    def _drained(self) -> bool:
+        """Is all in-flight work finished (windows empty, FUs idle)?"""
+
+    # ------------------------------------------------------------------
+    # shared bookkeeping
+    # ------------------------------------------------------------------
+
+    def stall(self, reason: str) -> None:
+        """Record one stalled issue cycle with its cause."""
+        self.stalls[reason] += 1
+
+    def note(self, seq: int, stage: str) -> None:
+        """Record a pipeline event if a timeline is attached."""
+        if self.timeline is not None:
+            self.timeline.record(seq, stage, self.cycle)
+
+    def _note_retired(self, seq: int) -> None:
+        """An instruction has architecturally completed."""
+        self.retired += 1
+        self.retire_log.append(seq)
+
+    def _schedule_completion(self, cycle: int, payload: object) -> None:
+        """Register a functional-unit result for delivery at ``cycle``."""
+        self._completion_ids += 1
+        heapq.heappush(self._completions, (cycle, self._completion_ids, payload))
+
+    def _pop_completions(self) -> List[object]:
+        """Pop every payload scheduled for the current cycle."""
+        ready: List[object] = []
+        while self._completions and self._completions[0][0] <= self.cycle:
+            cycle, _, payload = heapq.heappop(self._completions)
+            if cycle < self.cycle:
+                raise SimulationError(
+                    f"{self.name}: completion for cycle {cycle} delivered "
+                    f"late at cycle {self.cycle}"
+                )
+            ready.append(payload)
+        return ready
+
+    def _take_interrupt(self, cause: Exception, seq: int, pc: int,
+                        precise: bool) -> None:
+        """Record a taken interrupt and stop the machine."""
+        self.interrupt_record = InterruptRecord(
+            cause=cause,
+            seq=seq,
+            pc=pc,
+            cycle=self.cycle,
+            claims_precise=precise,
+        )
+        self.interrupt_count += 1

@@ -1,0 +1,33 @@
+"""Fault types raised during simulated execution.
+
+Two classes of instruction-generated traps exist in the paper's machine
+(section 1): arithmetic exceptions (defined with the ISA semantics as
+:class:`repro.isa.semantics.ArithmeticFault`) and page faults from the
+virtual-memory system, defined here.  Timing engines never let these
+escape: they capture them and deliver them through each engine's
+interrupt model (precise for the RUU, imprecise for the others).
+"""
+
+from __future__ import annotations
+
+from ..isa.semantics import ArithmeticFault
+
+__all__ = ["ArithmeticFault", "PageFault", "SimulationError", "FAULT_TYPES"]
+
+
+class PageFault(Exception):
+    """Access to an unmapped page (injected via ``Memory.inject_fault``)."""
+
+    def __init__(self, address: int, is_store: bool) -> None:
+        kind = "store to" if is_store else "load from"
+        super().__init__(f"page fault on {kind} address {address}")
+        self.address = address
+        self.is_store = is_store
+
+
+#: Exception classes an instruction's execution may raise as a trap.
+FAULT_TYPES = (ArithmeticFault, PageFault)
+
+
+class SimulationError(RuntimeError):
+    """An internal simulator invariant was violated (this is a bug)."""

@@ -1,0 +1,43 @@
+"""Interrupt records produced by the timing engines.
+
+An engine that detects an instruction-generated trap (arithmetic fault or
+page fault) stops and attaches an :class:`InterruptRecord` to itself and
+to its :class:`~repro.machine.stats.SimResult`.  Whether the recorded
+state is *precise* is the property under study: the RUU guarantees it,
+the other engines do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class InterruptRecord:
+    """A taken interrupt.
+
+    Attributes:
+        cause: the underlying fault exception (ArithmeticFault/PageFault).
+        seq: dynamic sequence number (0-based, program order) of the
+            faulting instruction.
+        pc: program counter of the faulting instruction -- for a precise
+            engine this is where execution must restart.
+        cycle: clock cycle at which the interrupt was taken.
+        claims_precise: True if the engine asserts the visible state is
+            exactly the state after the first ``seq`` instructions.  The
+            test-suite verifies this claim against the golden model.
+    """
+
+    cause: Exception
+    seq: int
+    pc: int
+    cycle: int
+    claims_precise: bool
+
+    def describe(self) -> str:
+        precision = "precise" if self.claims_precise else "IMPRECISE"
+        return (
+            f"interrupt at cycle {self.cycle}: {self.cause} "
+            f"(dynamic instruction #{self.seq}, pc={self.pc}, {precision})"
+        )

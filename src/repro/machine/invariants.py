@@ -1,0 +1,143 @@
+"""Per-cycle invariant checking for the RUU (a hardware-assertions rig).
+
+Attach to an engine before running::
+
+    engine = RUUEngine(program, config)
+    InvariantChecker.attach(engine)
+    engine.run()     # raises InvariantViolation on the first bad cycle
+
+The checker wraps ``tick()`` and, after every cycle, asserts the
+structural properties the design relies on:
+
+* the window is in strict program (sequence) order;
+* ``NI[r]`` equals the number of live window entries destined for ``r``
+  (and never exceeds ``2^n - 1``);
+* ``LI[r]`` equals the instance number of the youngest live entry for
+  ``r`` when one exists;
+* every non-ready operand carries a tag that a live producer will
+  still satisfy (no orphaned waiters -> no deadlocks);
+* dispatched-but-not-executed entries are within the window;
+* the memory queue's in-flight population matches the window's
+  un-finished memory instructions.
+
+This is how the test-suite checks the RUU's *internal* consistency on
+every cycle of real workloads, not just its architectural outputs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from .faults import SimulationError
+
+
+class InvariantViolation(SimulationError):
+    """An engine invariant failed; message says which and when."""
+
+
+class InvariantChecker:
+    """Wraps an engine's tick() with post-cycle assertions."""
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.cycles_checked = 0
+        self._original_tick = engine.tick
+
+    @classmethod
+    def attach(cls, engine) -> "InvariantChecker":
+        checker = cls(engine)
+
+        def checked_tick():
+            checker._original_tick()
+            checker.check()
+
+        engine.tick = checked_tick
+        return checker
+
+    def detach(self) -> None:
+        self.engine.tick = self._original_tick
+
+    # ------------------------------------------------------------------
+
+    def check(self) -> None:
+        self.cycles_checked += 1
+        engine = self.engine
+        if hasattr(engine, "window") and hasattr(engine, "_ni"):
+            self._check_ruu(engine)
+
+    def _fail(self, message: str) -> None:
+        raise InvariantViolation(
+            f"cycle {self.engine.cycle}: {message}"
+        )
+
+    def _check_ruu(self, engine) -> None:
+        window = list(engine.window)
+
+        # (1) queue order
+        seqs = [entry.seq for entry in window]
+        if seqs != sorted(seqs):
+            self._fail(f"window out of program order: {seqs}")
+
+        # (2) NI consistency and bound
+        live_counts: Counter = Counter()
+        youngest_instance = {}
+        for entry in window:
+            if entry.dest_tag is not None:
+                reg, instance = entry.dest_tag
+                live_counts[reg] += 1
+                youngest_instance[reg] = instance
+        if dict(live_counts) != dict(engine._ni):
+            self._fail(
+                f"NI mismatch: counters {dict(engine._ni)} vs live "
+                f"{dict(live_counts)}"
+            )
+        limit = engine.config.max_instances
+        for reg, count in live_counts.items():
+            if count > limit:
+                self._fail(f"{reg.name} has {count} instances > {limit}")
+
+        # (3) LI points at the youngest live instance
+        for reg, instance in youngest_instance.items():
+            if engine._li.get(reg, 0) != instance:
+                self._fail(
+                    f"LI[{reg.name}] = {engine._li.get(reg, 0)} but the "
+                    f"youngest live instance is {instance}"
+                )
+
+        # (4) no orphaned operand waiters
+        live_tags = {
+            entry.dest_tag for entry in window
+            if entry.dest_tag is not None
+        }
+        for entry in window:
+            for operand in entry.operands:
+                if operand.ready:
+                    continue
+                if operand.tag not in live_tags:
+                    self._fail(
+                        f"#{entry.seq} waits on {operand.tag} with no "
+                        f"live producer"
+                    )
+
+        # (5) the _live index mirrors the window
+        for tag, producer in engine._live.items():
+            if producer.dest_tag != tag or producer.squashed:
+                self._fail(f"stale _live mapping for {tag}")
+
+        # (6) memory-queue population matches the window
+        window_mem = sum(1 for entry in window if entry.inst.is_memory)
+        if engine.mdu.in_flight() != window_mem:
+            self._fail(
+                f"mdu tracks {engine.mdu.in_flight()} memory ops, window "
+                f"holds {window_mem}"
+            )
+
+
+def run_checked(engine, max_cycles: Optional[int] = None):
+    """Convenience: attach, run, detach; returns the SimResult."""
+    checker = InvariantChecker.attach(engine)
+    try:
+        return engine.run(max_cycles), checker
+    finally:
+        checker.detach()

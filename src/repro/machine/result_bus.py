@@ -1,0 +1,74 @@
+"""The single shared result bus of the model architecture.
+
+The paper's machine differs from the real CRAY-1 here (section 2): *only
+one functional unit may put data on the result bus in any clock cycle*.
+Engines reserve the bus at dispatch time for the cycle the result will
+emerge (the Weiss & Smith [17] discipline); a dispatch that cannot get a
+bus slot does not happen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class ResultBus:
+    """Tracks which future cycles the result bus is already reserved for."""
+
+    __slots__ = ("_reserved", "conflicts")
+
+    def __init__(self) -> None:
+        self._reserved: Set[int] = set()
+        self.conflicts = 0
+
+    def is_free(self, cycle: int) -> bool:
+        """Can a result appear on the bus at ``cycle``?"""
+        return cycle not in self._reserved
+
+    def reserve(self, cycle: int) -> bool:
+        """Reserve the bus at ``cycle``; False if already taken."""
+        if cycle in self._reserved:
+            self.conflicts += 1
+            return False
+        self._reserved.add(cycle)
+        return True
+
+    def release_past(self, now: int) -> None:
+        """Garbage-collect reservations at or before ``now``."""
+        self._reserved = {cycle for cycle in self._reserved if cycle > now}
+
+    def reserved_cycles(self) -> List[int]:
+        """All outstanding reservations, sorted (for debugging/tests)."""
+        return sorted(self._reserved)
+
+
+class BroadcastBus:
+    """A value-carrying bus delivering tagged results once per cycle.
+
+    Used for the RUU's commit bus (RUU -> register file) which the
+    reservation stations also snoop, and by tests that want to observe
+    bus traffic.  At most one (tag, value) per cycle.
+    """
+
+    __slots__ = ("_traffic",)
+
+    def __init__(self) -> None:
+        self._traffic: Dict[int, Tuple[object, object]] = {}
+
+    def drive(self, cycle: int, tag, value) -> bool:
+        """Put ``(tag, value)`` on the bus at ``cycle``; False if busy."""
+        if cycle in self._traffic:
+            return False
+        self._traffic[cycle] = (tag, value)
+        return True
+
+    def observe(self, cycle: int) -> Optional[Tuple[object, object]]:
+        """What is on the bus at ``cycle``, if anything."""
+        return self._traffic.get(cycle)
+
+    def release_past(self, now: int) -> None:
+        self._traffic = {
+            cycle: payload
+            for cycle, payload in self._traffic.items()
+            if cycle >= now
+        }

@@ -1,0 +1,5 @@
+"""Memory disambiguation: the paper's load registers (section 3.2.1.2)."""
+
+from .load_registers import FROM_MEMORY, MemoryDependencyUnit
+
+__all__ = ["FROM_MEMORY", "MemoryDependencyUnit"]

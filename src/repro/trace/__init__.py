@@ -1,0 +1,30 @@
+"""Functional execution and dynamic traces (the golden model)."""
+
+from .iss import (
+    ExecutionLimitExceeded,
+    FunctionalExecutor,
+    prefix_state,
+    reference_state,
+)
+from .serialize import (
+    TraceFormatError,
+    dump_trace,
+    load_trace,
+    read_trace,
+    save_trace,
+)
+from .trace import Trace, TraceEntry
+
+__all__ = [
+    "ExecutionLimitExceeded",
+    "FunctionalExecutor",
+    "Trace",
+    "TraceEntry",
+    "TraceFormatError",
+    "dump_trace",
+    "load_trace",
+    "prefix_state",
+    "read_trace",
+    "reference_state",
+    "save_trace",
+]

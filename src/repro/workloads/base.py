@@ -1,0 +1,78 @@
+"""Workload infrastructure.
+
+A :class:`Workload` bundles a program of the model ISA with its input
+data and an independently computed expected result (NumPy), playing the
+role of the paper's CFT-compiled benchmark binaries.  Engines receive a
+fresh copy of the initial memory per run; validation compares the final
+memory against the NumPy reference -- this checks that the hand-written
+assembly implements the kernel's mathematics, independently of the
+engine-vs-ISS equivalence checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..isa.program import Program
+from ..machine.memory import Memory
+
+
+@dataclass
+class Workload:
+    """A benchmark program plus data and expected outputs."""
+
+    name: str
+    program: Program
+    initial_memory: Memory
+    #: label -> (base address, expected contents) for validation.
+    expected_outputs: Dict[str, Tuple[int, np.ndarray]] = field(
+        default_factory=dict
+    )
+    description: str = ""
+
+    def make_memory(self) -> Memory:
+        """A fresh, mutable copy of the input data."""
+        return self.initial_memory.copy()
+
+    def validate(self, memory: Memory, rtol: float = 1e-9) -> List[str]:
+        """Compare ``memory`` against the NumPy reference.
+
+        Returns a list of mismatch descriptions (empty means correct).
+        """
+        failures: List[str] = []
+        for label, (base, expected) in self.expected_outputs.items():
+            actual = np.array(
+                [float(value) for value in
+                 memory.read_array(base, len(expected))]
+            )
+            if not np.allclose(actual, expected, rtol=rtol, atol=1e-12):
+                bad = np.flatnonzero(
+                    ~np.isclose(actual, expected, rtol=rtol, atol=1e-12)
+                )
+                first = bad[0] if len(bad) else 0
+                failures.append(
+                    f"{self.name}/{label}: {len(bad)} of {len(expected)} "
+                    f"words differ; first at +{first}: "
+                    f"got {actual[first]!r}, want {expected[first]!r}"
+                )
+        return failures
+
+
+def memory_from_arrays(arrays: Dict[int, Sequence]) -> Memory:
+    """Build a :class:`Memory` from ``{base_address: values}``."""
+    memory = Memory()
+    for base, values in arrays.items():
+        memory.write_array(base, [_to_word(v) for v in values])
+    return memory
+
+
+def _to_word(value):
+    """Convert a NumPy scalar to a plain Python int/float memory word."""
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    return value

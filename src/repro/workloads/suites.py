@@ -1,0 +1,76 @@
+"""Named workload suites and problem-size presets.
+
+The default loop sizes are scaled down from the paper's (fast full-table
+sweeps in pure Python); the ``paper`` preset restores problem sizes that
+give per-loop dynamic instruction counts in the paper's 4k-14k range.
+Relative results are stable across presets (verified by
+``tests/test_suites.py``), which is what justifies benchmarking at the
+small sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import Workload
+from .livermore import LIVERMORE_FACTORIES
+from .synthetic import (
+    branch_heavy,
+    dependency_chain,
+    fault_probe,
+    independent_streams,
+    memory_alias_kernel,
+    register_pressure,
+)
+
+#: Per-loop keyword overrides for each size preset.
+SIZE_PRESETS: Dict[str, Dict[int, Dict[str, int]]] = {
+    # quick: for smoke tests and CI subsets (~8k dynamic instructions)
+    "quick": {
+        1: {"n": 40}, 2: {"n": 32}, 3: {"n": 60}, 4: {"n": 40},
+        5: {"n": 50}, 6: {"n": 12}, 7: {"n": 30}, 8: {"n": 8},
+        9: {"n": 15}, 10: {"n": 15}, 11: {"n": 60}, 12: {"n": 60},
+        13: {"n_particles": 16}, 14: {"n": 40},
+    },
+    # default: the factories' own sizes (~24k dynamic instructions)
+    "default": {},
+    # paper: per-loop dynamic counts in the paper's 4k-14k band
+    # (~100k dynamic instructions total)
+    "paper": {
+        1: {"n": 500}, 2: {"n": 256}, 3: {"n": 900}, 4: {"n": 420,
+                                                         "xsize": 801},
+        5: {"n": 700}, 6: {"n": 52}, 7: {"n": 220}, 8: {"n": 36},
+        9: {"n": 120}, 10: {"n": 140}, 11: {"n": 900}, 12: {"n": 900},
+        13: {"n_particles": 220}, 14: {"n": 320},
+    },
+}
+
+
+def livermore_suite(preset: str = "default") -> List[Workload]:
+    """LLL1..LLL14 at the requested size preset."""
+    overrides = SIZE_PRESETS[preset]
+    return [
+        factory(**overrides.get(number, {}))
+        for number, factory in LIVERMORE_FACTORIES.items()
+    ]
+
+
+def synthetic_suite() -> List[Workload]:
+    """All synthetic microkernels at default sizes."""
+    return [
+        dependency_chain(),
+        independent_streams(),
+        memory_alias_kernel(),
+        branch_heavy(),
+        register_pressure(),
+        fault_probe(),
+    ]
+
+
+#: Every named suite, for the CLI and benchmarks.
+SUITES: Dict[str, Callable[[], List[Workload]]] = {
+    "quick": lambda: livermore_suite("quick"),
+    "livermore": livermore_suite,
+    "paper": lambda: livermore_suite("paper"),
+    "synthetic": synthetic_suite,
+}

@@ -1,0 +1,58 @@
+"""Shared fixtures: cached workloads, golden states, engine helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ENGINE_FACTORIES
+from repro.machine import CRAY1_LIKE, MachineConfig
+from repro.trace import reference_state
+from repro.workloads import all_loops
+from repro.workloads.synthetic import (
+    branch_heavy,
+    dependency_chain,
+    fault_probe,
+    independent_streams,
+    memory_alias_kernel,
+    register_pressure,
+)
+
+
+@pytest.fixture(scope="session")
+def livermore_loops():
+    """The 14 Livermore workloads (instantiated once per session)."""
+    return all_loops()
+
+
+@pytest.fixture(scope="session")
+def synthetic_workloads():
+    return [
+        dependency_chain(),
+        independent_streams(),
+        memory_alias_kernel(),
+        branch_heavy(),
+        register_pressure(),
+        fault_probe(),
+    ]
+
+
+@pytest.fixture(scope="session")
+def all_workloads(livermore_loops, synthetic_workloads):
+    return list(livermore_loops) + list(synthetic_workloads)
+
+
+@pytest.fixture(scope="session")
+def golden(all_workloads):
+    """Golden final state per workload name (functional executor)."""
+    return {
+        workload.name: reference_state(
+            workload.program, workload.initial_memory
+        )
+        for workload in all_workloads
+    }
+
+
+@pytest.fixture
+def config():
+    """A small default machine configuration for unit tests."""
+    return MachineConfig(window_size=8)

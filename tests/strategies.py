@@ -1,0 +1,196 @@
+"""Hypothesis strategies: random, type-safe programs of the model ISA.
+
+The generator keeps a strict type discipline so that fault-free programs
+stay fault-free on every engine (arithmetic faults are tested
+separately):
+
+* ``A1..A4`` and ``S4..S6`` always hold integers; ``S1..S3`` hold
+  floats (float magnitudes are bounded so chains cannot overflow);
+* ``A5``/``A6`` are memory base registers and are never written by ALU
+  ops; the float region is ``[100, 116)``, the int region ``[200, 216)``;
+* ``B0..B7`` shadow A values, ``T0..T7`` int S values, ``T8..T15``
+  float S values;
+* ``A0`` is the branch-condition register, ``A7`` the loop counter.
+
+Programs are emitted as assembly text (exercising the assembler on every
+example) with an optional counted loop and optional data-dependent
+forward branches.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+FLOAT_REGION = 100
+INT_REGION = 200
+REGION_SIZE = 16
+
+A_REGS = ["A1", "A2", "A3", "A4"]
+FS_REGS = ["S1", "S2", "S3"]
+IS_REGS = ["S4", "S5", "S6"]
+
+_a_reg = st.sampled_from(A_REGS)
+_fs_reg = st.sampled_from(FS_REGS)
+_is_reg = st.sampled_from(IS_REGS)
+_offset = st.integers(0, REGION_SIZE - 1)
+_small_int = st.integers(-20, 20)
+_b_index = st.integers(0, 7)
+
+
+@st.composite
+def _a_alu(draw):
+    op = draw(st.sampled_from(["A_ADD", "A_SUB", "A_MUL"]))
+    return f"{op} {draw(_a_reg)}, {draw(_a_reg)}, {draw(_a_reg)}"
+
+
+@st.composite
+def _a_addi(draw):
+    return f"A_ADDI {draw(_a_reg)}, {draw(_a_reg)}, {draw(_small_int)}"
+
+
+@st.composite
+def _a_imm(draw):
+    return f"A_IMM {draw(_a_reg)}, {draw(_small_int)}"
+
+
+@st.composite
+def _f_alu(draw):
+    op = draw(st.sampled_from(["F_ADD", "F_SUB", "F_MUL"]))
+    return f"{op} {draw(_fs_reg)}, {draw(_fs_reg)}, {draw(_fs_reg)}"
+
+
+@st.composite
+def _s_int_alu(draw):
+    op = draw(st.sampled_from(["S_ADD", "S_SUB", "S_AND", "S_OR", "S_XOR"]))
+    return f"{op} {draw(_is_reg)}, {draw(_is_reg)}, {draw(_is_reg)}"
+
+
+@st.composite
+def _s_shift(draw):
+    op = draw(st.sampled_from(["S_SHL", "S_SHR"]))
+    return f"{op} {draw(_is_reg)}, {draw(_is_reg)}, {draw(st.integers(0, 8))}"
+
+
+@st.composite
+def _mov(draw):
+    kind = draw(st.integers(0, 5))
+    if kind == 0:
+        return f"MOV {draw(_a_reg)}, {draw(_a_reg)}"
+    if kind == 1:
+        return f"MOV B{draw(_b_index)}, {draw(_a_reg)}"
+    if kind == 2:
+        return f"MOV {draw(_a_reg)}, B{draw(_b_index)}"
+    if kind == 3:
+        return f"MOV T{draw(_b_index)}, {draw(_is_reg)}"
+    if kind == 4:
+        return f"MOV {draw(_is_reg)}, T{draw(_b_index)}"
+    return f"MOV T{8 + draw(_b_index)}, {draw(_fs_reg)}"
+
+
+@st.composite
+def _mov_t_float(draw):
+    return f"MOV {draw(_fs_reg)}, T{8 + draw(_b_index)}"
+
+
+@st.composite
+def _float_mem(draw):
+    if draw(st.booleans()):
+        return f"LOAD_S {draw(_fs_reg)}, A6[{draw(_offset)}]"
+    return f"STORE_S A6[{draw(_offset)}], {draw(_fs_reg)}"
+
+
+@st.composite
+def _int_mem(draw):
+    kind = draw(st.integers(0, 5))
+    if kind == 0:
+        return f"LOAD_A {draw(_a_reg)}, A5[{draw(_offset)}]"
+    if kind == 1:
+        return f"STORE_A A5[{draw(_offset)}], {draw(_a_reg)}"
+    if kind == 2:
+        return f"LOAD_S {draw(_is_reg)}, A5[{draw(_offset)}]"
+    if kind == 3:
+        return f"STORE_S A5[{draw(_offset)}], {draw(_is_reg)}"
+    # the backup files load/store directly too (B holds ints; keep T's
+    # memory traffic in the int region for type discipline)
+    if kind == 4:
+        b = draw(_b_index)
+        if draw(st.booleans()):
+            return f"LOAD_B B{b}, A5[{draw(_offset)}]"
+        return f"STORE_B A5[{draw(_offset)}], B{b}"
+    t = draw(_b_index)
+    if draw(st.booleans()):
+        return f"LOAD_T T{t}, A5[{draw(_offset)}]"
+    return f"STORE_T A5[{draw(_offset)}], T{t}"
+
+
+_op_line = st.one_of(
+    _a_alu(), _a_addi(), _a_imm(), _f_alu(), _s_int_alu(), _s_shift(),
+    _mov(), _mov_t_float(), _float_mem(), _int_mem(),
+)
+
+
+@st.composite
+def _branch_block(draw, block_id):
+    """A data-dependent forward branch over a small sub-block."""
+    cond = draw(st.sampled_from(
+        ["BR_ZERO", "BR_NONZERO", "BR_PLUS", "BR_MINUS"]
+    ))
+    tested = draw(_a_reg)
+    inner = draw(st.lists(_op_line, min_size=1, max_size=4))
+    label = f"skip{block_id}"
+    lines = [f"MOV A0, {tested}", f"{cond} A0, {label}"]
+    lines.extend(inner)
+    lines.append(f"{label}:")
+    return lines
+
+
+@st.composite
+def program_text(draw):
+    """A full random program (assembly source) plus its data summary."""
+    a_inits = [draw(_small_int) for _ in range(4)]
+    f_inits = [
+        draw(st.floats(-2.0, 2.0, allow_nan=False, width=32))
+        for _ in range(3)
+    ]
+    i_inits = [draw(_small_int) for _ in range(3)]
+
+    lines = [
+        f"A_IMM A5, {INT_REGION}",
+        f"A_IMM A6, {FLOAT_REGION}",
+    ]
+    lines += [f"A_IMM {reg}, {val}" for reg, val in zip(A_REGS, a_inits)]
+    lines += [f"S_IMM {reg}, {val!r}" for reg, val in zip(FS_REGS, f_inits)]
+    lines += [f"S_IMM {reg}, {val}" for reg, val in zip(IS_REGS, i_inits)]
+
+    body: list = []
+    n_segments = draw(st.integers(1, 4))
+    block_id = 0
+    for _ in range(n_segments):
+        body.extend(draw(st.lists(_op_line, min_size=1, max_size=8)))
+        if draw(st.booleans()):
+            body.extend(draw(_branch_block(block_id)))
+            block_id += 1
+
+    trip = draw(st.integers(0, 3))
+    if trip:
+        lines.append(f"A_IMM A7, {trip}")
+        lines.append("loop:")
+        lines.extend(body)
+        lines.append("A_ADDI A7, A7, -1")
+        lines.append("MOV A0, A7")
+        lines.append("BR_NONZERO A0, loop")
+    else:
+        lines.extend(body)
+    lines.append("HALT")
+    return "\n".join(lines)
+
+
+@st.composite
+def initial_data(draw):
+    """Memory contents for the float and int regions."""
+    floats = [
+        draw(st.floats(-4.0, 4.0, allow_nan=False, width=32))
+        for _ in range(REGION_SIZE)
+    ]
+    ints = [draw(_small_int) for _ in range(REGION_SIZE)]
+    return floats, ints

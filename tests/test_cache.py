@@ -1,0 +1,82 @@
+"""Tests for the simulation result cache."""
+
+import pytest
+
+from repro.analysis import ENGINE_FACTORIES
+from repro.analysis.cache import ResultCache, cache_key
+from repro.machine import MachineConfig
+from repro.workloads import dependency_chain, fault_probe, lll3
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+CONFIG = MachineConfig(window_size=8)
+
+
+class TestKeying:
+    def test_key_is_stable(self):
+        workload = dependency_chain(30)
+        assert cache_key("rstu", workload, CONFIG) == \
+            cache_key("rstu", workload, CONFIG)
+
+    def test_key_varies_with_engine(self):
+        workload = dependency_chain(30)
+        assert cache_key("rstu", workload, CONFIG) != \
+            cache_key("simple", workload, CONFIG)
+
+    def test_key_varies_with_config(self):
+        workload = dependency_chain(30)
+        assert cache_key("rstu", workload, CONFIG) != \
+            cache_key("rstu", workload, CONFIG.with_(window_size=9))
+
+    def test_key_varies_with_program(self):
+        assert cache_key("rstu", dependency_chain(30), CONFIG) != \
+            cache_key("rstu", dependency_chain(31), CONFIG)
+
+    def test_key_varies_with_data(self):
+        a = dependency_chain(30)
+        b = dependency_chain(30)
+        b.initial_memory.poke(1000, 42.0)
+        assert cache_key("rstu", a, CONFIG) != cache_key("rstu", b, CONFIG)
+
+
+class TestCaching:
+    def test_miss_then_hit(self, cache):
+        workload = dependency_chain(30)
+        builder = ENGINE_FACTORIES["rstu"]
+        first = cache.run(builder, "rstu", workload, CONFIG)
+        second = cache.run(builder, "rstu", workload, CONFIG)
+        assert cache.misses == 1 and cache.hits == 1
+        assert second.cycles == first.cycles
+        assert second.instructions == first.instructions
+        assert second.stalls == first.stalls
+        assert second.extra.get("from_cache")
+
+    def test_cached_equals_fresh(self, cache):
+        workload = lll3(n=50)
+        builder = ENGINE_FACTORIES["ruu-bypass"]
+        cache.run(builder, "ruu-bypass", workload, CONFIG)
+        cached = cache.run(builder, "ruu-bypass", workload, CONFIG)
+        fresh = builder(workload.program, CONFIG,
+                        workload.make_memory()).run()
+        assert cached.cycles == fresh.cycles
+        assert cached.issue_rate == fresh.issue_rate
+
+    def test_interrupted_runs_not_cached(self, cache):
+        workload = fault_probe()
+        workload.initial_memory.inject_fault(workload.fault_address)
+        builder = ENGINE_FACTORIES["ruu-bypass"]
+        cache.run(builder, "ruu-bypass", workload, CONFIG)
+        cache.run(builder, "ruu-bypass", workload, CONFIG)
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+    def test_clear(self, cache):
+        workload = dependency_chain(30)
+        cache.run(ENGINE_FACTORIES["simple"], "simple", workload, CONFIG)
+        assert cache.clear() == 1
+        cache.run(ENGINE_FACTORIES["simple"], "simple", workload, CONFIG)
+        assert cache.misses == 2

@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.asm"
+    path.write_text("""
+        A_IMM A0, 3
+    loop:
+        A_ADDI A0, A0, -1
+        BR_NONZERO A0, loop
+        HALT
+    """)
+    return str(path)
+
+
+class TestRunCommand:
+    def test_run_default_engine(self, asm_file, capsys):
+        assert main(["run", asm_file]) == 0
+        out = capsys.readouterr().out
+        assert "ruu-bypass" in out
+        assert "instructions" in out
+
+    def test_run_each_engine(self, asm_file, capsys):
+        for engine in ("simple", "rstu", "spec-ruu", "history-buffer"):
+            assert main(["run", asm_file, "--engine", engine]) == 0
+
+    def test_run_with_registers(self, asm_file, capsys, tmp_path):
+        path = tmp_path / "regs.asm"
+        path.write_text("A_IMM A5, 42\nHALT")
+        assert main(["run", str(path), "--registers"]) == 0
+        assert "A5 = 42" in capsys.readouterr().out
+
+    def test_window_flag(self, asm_file):
+        assert main(["run", asm_file, "--window", "4"]) == 0
+
+
+class TestLoopsCommand:
+    def test_lists_all_fourteen(self, capsys):
+        assert main(["loops"]) == 0
+        out = capsys.readouterr().out
+        for number in range(1, 15):
+            assert f"LLL{number}" in out
+
+
+class TestCompareCommand:
+    def test_compare_subset(self, capsys):
+        assert main(["compare", "3", "--window", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "simple" in out and "ruu-bypass" in out
+        assert "speedup" in out
+
+
+class TestArgErrors:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_engine(self, asm_file):
+        with pytest.raises(SystemExit):
+            main(["run", asm_file, "--engine", "nope"])

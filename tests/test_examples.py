@@ -1,0 +1,53 @@
+"""Smoke-run the fast examples so they cannot rot.
+
+(The slow full-reproduction scripts -- reproduce_paper.py and
+plot_curves.py -- run the same code paths as the benchmark suite and
+are exercised there.)
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "pipeline_viewer.py",
+    "precise_interrupts.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [name])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), name
+
+
+def test_dependence_analysis_with_args(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["dependence_analysis.py", "3"])
+    runpy.run_path(
+        str(EXAMPLES / "dependence_analysis.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "LLL3" in out and "dataflow limit" in out
+
+
+def test_compare_example_subset(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["compare_issue_mechanisms.py", "12"])
+    runpy.run_path(
+        str(EXAMPLES / "compare_issue_mechanisms.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "ruu-bypass" in out and "dispatch-stack" in out
+
+
+def test_all_examples_have_docstrings_and_mains():
+    for path in sorted(EXAMPLES.glob("*.py")):
+        text = path.read_text()
+        assert text.lstrip().startswith(('#!', '"""')), path.name
+        assert '__main__' in text, path.name

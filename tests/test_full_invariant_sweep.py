@@ -1,0 +1,61 @@
+"""The heaviest internal-consistency sweep: per-cycle invariant
+checking across all 14 Livermore loops, every RUU bypass mode, and the
+speculative engine -- several hundred thousand checked cycles."""
+
+import pytest
+
+from repro.core import (
+    BypassMode,
+    RUUEngine,
+    SpeculativeRUUEngine,
+    StaticBTFNPredictor,
+)
+from repro.machine import MachineConfig
+from repro.machine.invariants import run_checked
+from repro.trace import reference_state
+
+
+@pytest.mark.parametrize("bypass", list(BypassMode))
+def test_all_loops_fully_checked(bypass, livermore_loops, golden):
+    config = MachineConfig(window_size=12)
+    total_cycles = 0
+    for workload in livermore_loops:
+        memory = workload.make_memory()
+        engine = RUUEngine(workload.program, config, memory=memory,
+                           bypass=bypass)
+        result, checker = run_checked(engine)
+        total_cycles += checker.cycles_checked
+        reference = golden[workload.name]
+        assert engine.regs == reference.regs, workload.name
+        assert memory == reference.memory, workload.name
+    assert total_cycles > 10_000
+
+
+def test_all_loops_checked_speculatively(livermore_loops, golden):
+    config = MachineConfig(window_size=12)
+    for workload in livermore_loops:
+        memory = workload.make_memory()
+        engine = SpeculativeRUUEngine(
+            workload.program, config, memory=memory,
+            predictor=StaticBTFNPredictor(),
+        )
+        result, checker = run_checked(engine)
+        reference = golden[workload.name]
+        assert engine.regs == reference.regs, workload.name
+        assert memory == reference.memory, workload.name
+        assert checker.cycles_checked == result.cycles
+
+
+def test_checked_under_extreme_pressure(livermore_loops):
+    """Tiny everything: 2-entry window, 1-bit counters, 1 load register
+    -- the invariants must hold even in full structural starvation."""
+    config = MachineConfig(
+        window_size=2, counter_bits=1, n_load_registers=1
+    )
+    for workload in livermore_loops[:5]:
+        memory = workload.make_memory()
+        engine = RUUEngine(workload.program, config, memory=memory)
+        run_checked(engine)
+        reference = reference_state(workload.program,
+                                    workload.initial_memory)
+        assert engine.regs == reference.regs, workload.name

@@ -1,0 +1,200 @@
+"""Precise-interrupt tests: the paper's central correctness claim.
+
+The RUU (and the Smith & Pleszkun machines) must expose exactly the
+sequential prefix state at any trap and be restartable; the baseline
+and RSTU machines are shown imprecise on a crafted scenario.
+"""
+
+import pytest
+
+from repro.core import (
+    BypassMode,
+    RUUEngine,
+    SpeculativeRUUEngine,
+    check_precision,
+    demonstrate_restartability,
+    run_with_page_fault,
+    run_with_recovery,
+)
+from repro.interrupts import (
+    FutureFileEngine,
+    HistoryBufferEngine,
+    ReorderBufferBypassEngine,
+    ReorderBufferEngine,
+)
+from repro.issue import RSTUEngine, SimpleEngine
+from repro.machine import MachineConfig, Memory
+from repro.trace import reference_state
+from repro.workloads import fault_probe, lll1, lll5
+
+CONFIG = MachineConfig(window_size=10)
+
+PRECISE_FACTORIES = {
+    "ruu-bypass": lambda p, m: RUUEngine(p, CONFIG, memory=m,
+                                         bypass=BypassMode.FULL),
+    "ruu-nobypass": lambda p, m: RUUEngine(p, CONFIG, memory=m,
+                                           bypass=BypassMode.NONE),
+    "ruu-limited": lambda p, m: RUUEngine(p, CONFIG, memory=m,
+                                          bypass=BypassMode.LIMITED),
+    "spec-ruu": lambda p, m: SpeculativeRUUEngine(p, CONFIG, memory=m),
+    "reorder-buffer": lambda p, m: ReorderBufferEngine(p, CONFIG, memory=m),
+    "rob-bypass": lambda p, m: ReorderBufferBypassEngine(p, CONFIG, memory=m),
+    "history-buffer": lambda p, m: HistoryBufferEngine(p, CONFIG, memory=m),
+    "future-file": lambda p, m: FutureFileEngine(p, CONFIG, memory=m),
+}
+
+
+@pytest.fixture(scope="module")
+def probe():
+    return fault_probe()
+
+
+class TestPageFaultPrecision:
+    @pytest.mark.parametrize("name", sorted(PRECISE_FACTORIES))
+    def test_precise_on_fault_probe(self, name, probe):
+        factory = PRECISE_FACTORIES[name]
+        engine, record = run_with_page_fault(
+            factory, probe.program, probe.initial_memory,
+            probe.fault_address,
+        )
+        assert record is not None
+        assert record.claims_precise
+        report = check_precision(engine, probe.program, probe.initial_memory)
+        assert report.precise, report.describe()
+
+    @pytest.mark.parametrize("name", sorted(PRECISE_FACTORIES))
+    def test_restartable(self, name, probe):
+        factory = PRECISE_FACTORIES[name]
+        assert demonstrate_restartability(
+            factory, probe.program, probe.initial_memory,
+            probe.fault_address,
+        )
+
+    @pytest.mark.parametrize("fault_index", [0, 5, 13, 19])
+    def test_fault_at_any_load(self, fault_index):
+        probe = fault_probe(fault_index=fault_index)
+        factory = PRECISE_FACTORIES["ruu-bypass"]
+        engine, record = run_with_page_fault(
+            factory, probe.program, probe.initial_memory,
+            probe.fault_address,
+        )
+        report = check_precision(engine, probe.program, probe.initial_memory)
+        assert report.precise, report.describe()
+
+    def test_interrupt_pc_is_faulting_instruction(self, probe):
+        factory = PRECISE_FACTORIES["ruu-bypass"]
+        engine, record = run_with_page_fault(
+            factory, probe.program, probe.initial_memory,
+            probe.fault_address,
+        )
+        # The probe's only load is the first instruction of the loop body.
+        assert probe.program[record.pc].is_load
+
+    def test_recovery_yields_fault_free_state(self, probe):
+        factory = PRECISE_FACTORIES["ruu-nobypass"]
+        engine, records = run_with_recovery(
+            factory, probe.program, probe.initial_memory,
+            probe.fault_address,
+        )
+        assert len(records) == 1
+        clean = reference_state(probe.program, probe.initial_memory)
+        assert engine.regs == clean.regs
+        assert engine.memory == clean.memory
+        assert engine.retired == clean.executed
+
+
+class TestStoreFaults:
+    def test_store_page_fault_is_precise(self):
+        wl = lll1()
+        # LLL1 stores to x at base 1000; fault the 5th store target.
+        factory = PRECISE_FACTORIES["ruu-bypass"]
+        engine, record = run_with_page_fault(
+            factory, wl.program, wl.initial_memory, 1004
+        )
+        assert record is not None and record.claims_precise
+        report = check_precision(engine, wl.program, wl.initial_memory)
+        assert report.precise, report.describe()
+
+    def test_store_fault_restartable(self):
+        wl = lll5()
+        factory = PRECISE_FACTORIES["ruu-limited"]
+        assert demonstrate_restartability(
+            factory, wl.program, wl.initial_memory, 1010
+        )
+
+
+class TestArithmeticFaults:
+    SOURCE_MEMORY = None
+
+    def test_recip_zero_precise_on_ruu(self):
+        from repro.isa import assemble
+        program = assemble("""
+            A_IMM A1, 1
+            A_IMM A2, 2
+            S_IMM S1, 0.0
+            F_RECIP S2, S1
+            A_IMM A3, 3
+            HALT
+        """)
+        engine = RUUEngine(program, CONFIG)
+        engine.run()
+        record = engine.interrupt_record
+        assert record is not None and record.claims_precise
+        report = check_precision(engine, program, Memory())
+        assert report.precise, report.describe()
+        # A3 (younger than the trap) must NOT be visible.
+        from repro.isa import A
+        assert engine.regs.read(A(3)) == 0
+
+
+class TestImpreciseMachines:
+    IMPRECISE_SOURCE = """
+        A_IMM A1, 100
+        S_IMM S1, 0.0
+        F_RECIP S2, S1      ; traps at completion (14 cycles away)
+        A_IMM A3, 42        ; younger; completes first on these machines
+        A_IMM A4, 43
+        HALT
+    """
+
+    @pytest.mark.parametrize("cls", [SimpleEngine, RSTUEngine])
+    def test_state_is_not_the_prefix(self, cls):
+        from repro.isa import assemble
+        program = assemble(self.IMPRECISE_SOURCE)
+        engine = cls(program, CONFIG)
+        engine.run()
+        record = engine.interrupt_record
+        assert record is not None
+        assert not record.claims_precise
+        report = check_precision(engine, program, Memory())
+        assert not report.precise
+        assert report.register_diff  # younger writes leaked
+
+    @pytest.mark.parametrize("cls", [SimpleEngine, RSTUEngine])
+    def test_imprecise_cannot_resume(self, cls):
+        from repro.isa import assemble
+        from repro.machine import SimulationError
+        program = assemble(self.IMPRECISE_SOURCE)
+        engine = cls(program, CONFIG)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.continue_run()
+
+
+class TestRepeatedFaults:
+    def test_two_distinct_faults_serviced_in_turn(self):
+        wl = fault_probe()
+        memory = wl.initial_memory.copy()
+        memory.inject_fault(wl.fault_address)
+        memory.inject_fault(wl.fault_address + 3)
+        engine = RUUEngine(wl.program, CONFIG, memory=memory)
+        engine.run()
+        records = []
+        while engine.interrupt_record is not None:
+            records.append(engine.interrupt_record)
+            memory.service_fault(engine.interrupt_record.cause.address)
+            engine.continue_run()
+        assert len(records) == 2
+        clean = reference_state(wl.program, wl.initial_memory)
+        assert engine.regs == clean.regs
+        assert engine.memory == clean.memory

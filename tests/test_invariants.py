@@ -1,0 +1,114 @@
+"""Run real workloads with per-cycle invariant checking enabled."""
+
+import pytest
+
+from repro.core import (
+    AlwaysTakenPredictor,
+    BypassMode,
+    RUUEngine,
+    SpeculativeRUUEngine,
+)
+from repro.machine import MachineConfig
+from repro.machine.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    run_checked,
+)
+from repro.workloads import all_loops, branch_heavy, fault_probe
+
+
+class TestCheckedRuns:
+    @pytest.mark.parametrize("bypass", list(BypassMode))
+    def test_ruu_invariants_hold_on_loops(self, bypass):
+        for workload in all_loops()[:6]:
+            engine = RUUEngine(
+                workload.program, MachineConfig(window_size=10),
+                memory=workload.make_memory(), bypass=bypass,
+            )
+            result, checker = run_checked(engine)
+            assert checker.cycles_checked == result.cycles
+
+    def test_invariants_hold_under_speculation_and_recovery(self):
+        workload = branch_heavy(length=100)
+        engine = SpeculativeRUUEngine(
+            workload.program, MachineConfig(window_size=12),
+            memory=workload.make_memory(),
+            predictor=AlwaysTakenPredictor(),
+        )
+        result, checker = run_checked(engine)
+        assert result.mispredictions > 0  # recoveries really happened
+        assert checker.cycles_checked > 0
+
+    def test_invariants_hold_across_interrupt_and_resume(self):
+        workload = fault_probe()
+        memory = workload.make_memory()
+        memory.inject_fault(workload.fault_address)
+        engine = RUUEngine(workload.program, MachineConfig(window_size=10),
+                           memory=memory)
+        checker = InvariantChecker.attach(engine)
+        engine.run()
+        assert engine.interrupt_record is not None
+        memory.service_fault(workload.fault_address)
+        engine.continue_run()
+        assert checker.cycles_checked > 0
+
+    def test_tiny_window_and_narrow_counters(self):
+        workload = all_loops()[8]  # LLL9: heavy register recycling
+        engine = RUUEngine(
+            workload.program,
+            MachineConfig(window_size=3, counter_bits=1),
+            memory=workload.make_memory(),
+        )
+        run_checked(engine)
+
+
+class TestDetection:
+    def test_detects_corrupted_ni(self):
+        from repro.isa import S, assemble
+        source = """
+            S_IMM S1, 1.0
+            F_ADD S2, S1, S1
+            F_ADD S3, S2, S2
+            HALT
+        """
+        engine = RUUEngine(assemble(source), MachineConfig(window_size=8))
+        checker = InvariantChecker.attach(engine)
+
+        # sabotage: inflate a counter mid-run
+        original_try_issue = engine._try_issue
+
+        def corrupted(inst, seq):
+            ok = original_try_issue(inst, seq)
+            if seq == 2:
+                engine._ni[S(2)] = 5
+            return ok
+
+        engine._try_issue = corrupted
+        with pytest.raises(InvariantViolation):
+            engine.run()
+
+    def test_detects_window_disorder(self):
+        from repro.isa import assemble
+        source = "A_IMM A1, 1\nA_IMM A2, 2\nA_IMM A3, 3\nHALT"
+        engine = RUUEngine(assemble(source), MachineConfig(window_size=8))
+        checker = InvariantChecker.attach(engine)
+
+        original = engine._try_issue
+
+        def scrambling(inst, seq):
+            ok = original(inst, seq)
+            if seq == 2 and len(engine.window) >= 2:
+                engine.window.rotate(1)
+            return ok
+
+        engine._try_issue = scrambling
+        with pytest.raises(InvariantViolation):
+            engine.run()
+
+    def test_detach_restores_tick(self):
+        from repro.isa import assemble
+        engine = RUUEngine(assemble("HALT"), MachineConfig())
+        checker = InvariantChecker.attach(engine)
+        checker.detach()
+        engine.run()
+        assert checker.cycles_checked == 0

@@ -1,0 +1,198 @@
+"""Unit tests for the text assembler and program finalization."""
+
+import pytest
+
+from repro.isa import (
+    A,
+    AssemblyError,
+    Instruction,
+    Opcode,
+    ProgramError,
+    S,
+    assemble,
+    build_program,
+)
+
+
+class TestBasicParsing:
+    def test_empty_source_gets_a_halt(self):
+        program = assemble("")
+        assert len(program) == 1
+        assert program[0].opcode is Opcode.HALT
+
+    def test_halt_appended_when_missing(self):
+        program = assemble("NOP")
+        assert program[-1].opcode is Opcode.HALT
+        assert len(program) == 2
+
+    def test_halt_not_duplicated(self):
+        program = assemble("NOP\nHALT")
+        assert len(program) == 2
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            ; full-line comment
+            NOP        ; trailing comment
+            # hash comment too
+
+            HALT
+        """)
+        assert len(program) == 2
+
+    def test_alu_three_operand(self):
+        inst = assemble("A_ADD A1, A2, A3")[0]
+        assert inst.opcode is Opcode.A_ADD
+        assert inst.dest == A(1)
+        assert inst.srcs == (A(2), A(3))
+
+    def test_immediate_forms(self):
+        assert assemble("A_IMM A1, 42")[0].imm == 42
+        assert assemble("A_IMM A1, -42")[0].imm == -42
+        assert assemble("A_IMM A1, 0x10")[0].imm == 16
+        assert assemble("S_IMM S1, 2.5")[0].imm == 2.5
+
+    def test_shift_takes_amount(self):
+        inst = assemble("S_SHL S1, S2, 3")[0]
+        assert inst.srcs == (S(2),)
+        assert inst.imm == 3
+
+    def test_addi(self):
+        inst = assemble("A_ADDI A1, A1, -1")[0]
+        assert inst.dest == A(1)
+        assert inst.srcs == (A(1),)
+        assert inst.imm == -1
+
+
+class TestMemoryOperands:
+    def test_load_bracket_form(self):
+        inst = assemble("LOAD_S S1, A2[10]")[0]
+        assert inst.base == A(2)
+        assert inst.imm == 10
+        assert inst.dest == S(1)
+
+    def test_load_negative_offset(self):
+        assert assemble("LOAD_S S1, A2[-3]")[0].imm == -3
+
+    def test_load_comma_form(self):
+        inst = assemble("LOAD_S S1, A2, 5")[0]
+        assert inst.base == A(2)
+        assert inst.imm == 5
+
+    def test_store_operand_order(self):
+        inst = assemble("STORE_S A1[4], S2")[0]
+        assert inst.base == A(1)
+        assert inst.imm == 4
+        assert inst.srcs == (S(2),)
+
+    def test_store_a(self):
+        inst = assemble("STORE_A A1[0], A3")[0]
+        assert inst.srcs == (A(3),)
+
+    def test_base_must_be_a_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("LOAD_S S1, S2[0]")
+
+
+class TestLabelsAndBranches:
+    def test_backward_branch(self):
+        program = assemble("""
+        top:
+            NOP
+            BR_NONZERO A0, top
+        """)
+        assert program[1].target == 0
+
+    def test_forward_branch(self):
+        program = assemble("""
+            BR_ZERO A0, skip
+            NOP
+        skip:
+            HALT
+        """)
+        assert program[0].target == 2
+
+    def test_jmp(self):
+        program = assemble("""
+            JMP end
+            NOP
+        end:
+            HALT
+        """)
+        assert program[0].target == 2
+
+    def test_label_on_own_line(self):
+        program = assemble("""
+        alone:
+            NOP
+        """)
+        assert program.labels["alone"] == 0
+
+    def test_multiple_labels_same_line(self):
+        program = assemble("one: two: NOP")
+        assert program.labels["one"] == 0
+        assert program.labels["two"] == 0
+
+    def test_undefined_label(self):
+        with pytest.raises(ProgramError):
+            assemble("JMP nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("x: NOP\nx: NOP")
+
+    def test_label_of(self):
+        program = assemble("here: NOP")
+        assert program.label_of(0) == "here"
+        assert program.label_of(1) is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize("line", [
+        "FROB A1, A2",              # unknown opcode
+        "A_ADD A1, A2",             # missing operand
+        "A_ADD A1, A2, A3, A4",     # extra operand
+        "A_IMM A1, banana",         # bad number
+        "LOAD_S S1",                # missing memory operand
+        "BR_ZERO A0",               # missing target
+        "NOP A1",                   # operands on a nullary op
+    ])
+    def test_rejects(self, line):
+        with pytest.raises(AssemblyError):
+            assemble(line)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("NOP\nNOP\nBOGUS")
+        assert "line 3" in str(excinfo.value)
+
+
+class TestProgramFinalize:
+    def test_pcs_assigned(self):
+        program = assemble("NOP\nNOP\nHALT")
+        assert [inst.pc for inst in program] == [0, 1, 2]
+
+    def test_out_of_range_target_rejected(self):
+        inst = Instruction(Opcode.JMP, target=99)
+        with pytest.raises(ProgramError):
+            build_program([inst])
+
+    def test_listing_mentions_labels(self):
+        program = assemble("loop: NOP\nJMP loop")
+        listing = program.listing()
+        assert "loop:" in listing
+        assert "JMP" in listing
+
+    def test_instruction_str_forms(self):
+        program = assemble("""
+            A_ADD A1, A2, A3
+            LOAD_S S1, A2[3]
+            STORE_S A2[3], S1
+            BR_ZERO A0, end
+        end:
+            HALT
+        """)
+        texts = [str(inst) for inst in program]
+        assert "A_ADD A1, A2, A3" in texts[0]
+        assert "A2[3]" in texts[1]
+        assert "S1" in texts[2]
+        assert "-> 4" in texts[3]

@@ -1,0 +1,91 @@
+"""Unit tests for Instruction construction rules and opcode metadata."""
+
+import pytest
+
+from repro.isa import A, FUClass, Instruction, OpKind, Opcode, S
+from repro.isa.opcodes import DEFAULT_LATENCY
+
+
+class TestInstructionValidation:
+    def test_alu_needs_dest(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.A_ADD, srcs=(A(1), A(2)))
+
+    def test_store_must_not_have_dest(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                Opcode.STORE_S, dest=S(1), srcs=(S(2),), base=A(1), imm=0
+            )
+
+    def test_wrong_source_count(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.A_ADD, dest=A(1), srcs=(A(2),))
+
+    def test_memory_needs_base(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD_S, dest=S(1), imm=0)
+
+    def test_memory_base_must_be_a_bank(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD_S, dest=S(1), base=S(2), imm=0)
+
+    def test_branch_needs_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BR_ZERO, srcs=(A(0),))
+
+    def test_immediate_required(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.A_IMM, dest=A(0))
+
+    def test_sources_includes_base(self):
+        inst = Instruction(
+            Opcode.STORE_S, srcs=(S(1),), base=A(2), imm=0
+        )
+        assert inst.sources == (S(1), A(2))
+
+    def test_sources_without_base(self):
+        inst = Instruction(Opcode.A_ADD, dest=A(0), srcs=(A(1), A(2)))
+        assert inst.sources == (A(1), A(2))
+
+
+class TestOpcodeMetadata:
+    def test_every_opcode_has_latency(self):
+        for op in Opcode:
+            assert op.default_latency >= 1
+
+    def test_latency_table_covers_all_fu_classes(self):
+        assert set(DEFAULT_LATENCY) == set(FUClass)
+
+    def test_cray_latency_spot_checks(self):
+        assert Opcode.A_ADD.default_latency == 2
+        assert Opcode.A_MUL.default_latency == 6
+        assert Opcode.F_ADD.default_latency == 6
+        assert Opcode.F_MUL.default_latency == 7
+        assert Opcode.F_RECIP.default_latency == 14
+        assert Opcode.LOAD_S.default_latency == 11
+        assert Opcode.S_AND.default_latency == 1
+
+    def test_predicates(self):
+        assert Opcode.LOAD_A.is_load and Opcode.LOAD_A.is_memory
+        assert Opcode.STORE_T.is_store and not Opcode.STORE_T.has_dest
+        assert Opcode.BR_MINUS.is_branch and Opcode.BR_MINUS.is_control_flow
+        assert Opcode.JMP.is_control_flow and not Opcode.JMP.is_branch
+        assert Opcode.A_ADD.has_dest and not Opcode.A_ADD.is_memory
+        assert not Opcode.NOP.has_dest
+
+    def test_parse(self):
+        assert Opcode.parse("f_mul") is Opcode.F_MUL
+        with pytest.raises(ValueError):
+            Opcode.parse("NOSUCH")
+
+    def test_kind_partitions(self):
+        kinds = {op: op.kind for op in Opcode}
+        assert kinds[Opcode.LOAD_B] is OpKind.LOAD
+        assert kinds[Opcode.STORE_B] is OpKind.STORE
+        assert kinds[Opcode.HALT] is OpKind.HALT
+
+    def test_fu_assignment(self):
+        assert Opcode.A_MUL.fu is FUClass.ADDR_MUL
+        assert Opcode.MOV.fu is FUClass.TRANSMIT
+        assert Opcode.S_SHR.fu is FUClass.SCALAR_SHIFT
+        assert Opcode.LOAD_T.fu is FUClass.MEMORY

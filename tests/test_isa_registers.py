@@ -1,0 +1,112 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.isa import (
+    TOTAL_REGISTERS,
+    A,
+    B,
+    RegBank,
+    Register,
+    RegisterFile,
+    S,
+    T,
+    all_registers,
+)
+
+
+class TestRegister:
+    def test_constructors(self):
+        assert A(3).bank is RegBank.A
+        assert S(7).index == 7
+        assert B(63).name == "B63"
+        assert T(0).name == "T0"
+
+    @pytest.mark.parametrize("bank,size", [
+        (RegBank.A, 8), (RegBank.S, 8), (RegBank.B, 64), (RegBank.T, 64),
+    ])
+    def test_bank_sizes(self, bank, size):
+        assert bank.size == size
+
+    def test_total_register_count(self):
+        assert TOTAL_REGISTERS == 144
+        assert len(list(all_registers())) == 144
+
+    @pytest.mark.parametrize("bank,index", [
+        (RegBank.A, 8), (RegBank.S, 9), (RegBank.B, 64), (RegBank.T, 100),
+        (RegBank.A, -1),
+    ])
+    def test_out_of_range_index_rejected(self, bank, index):
+        with pytest.raises(ValueError):
+            Register(bank, index)
+
+    def test_parse_roundtrip(self):
+        for reg in all_registers():
+            assert Register.parse(reg.name) == reg
+
+    def test_parse_case_insensitive(self):
+        assert Register.parse("a3") == A(3)
+        assert Register.parse(" t12 ") == T(12)
+
+    @pytest.mark.parametrize("text", ["X3", "A", "Ax", "", "3A", "AA1"])
+    def test_parse_rejects_garbage(self, text):
+        with pytest.raises(ValueError):
+            Register.parse(text)
+
+    def test_flat_index_is_a_bijection(self):
+        indices = sorted(reg.flat_index for reg in all_registers())
+        assert indices == list(range(144))
+
+    def test_equality_and_hash(self):
+        assert A(1) == A(1)
+        assert A(1) != S(1)
+        assert len({A(1), A(1), S(1)}) == 2
+
+    def test_ordering_is_total(self):
+        regs = sorted(all_registers())
+        assert len(regs) == 144
+
+
+class TestRegisterFile:
+    def test_initially_zero(self):
+        rf = RegisterFile()
+        for reg in all_registers():
+            assert rf.read(reg) == 0
+
+    def test_write_read(self):
+        rf = RegisterFile()
+        rf.write(S(2), 3.5)
+        assert rf.read(S(2)) == 3.5
+        assert rf.read(S(3)) == 0
+
+    def test_copy_is_independent(self):
+        rf = RegisterFile()
+        rf.write(A(1), 7)
+        clone = rf.copy()
+        clone.write(A(1), 9)
+        assert rf.read(A(1)) == 7
+        assert clone.read(A(1)) == 9
+
+    def test_equality(self):
+        rf1, rf2 = RegisterFile(), RegisterFile()
+        assert rf1 == rf2
+        rf1.write(T(10), 1)
+        assert rf1 != rf2
+
+    def test_diff(self):
+        rf1, rf2 = RegisterFile(), RegisterFile()
+        rf1.write(A(0), 5)
+        rf2.write(S(1), 2.0)
+        diff = rf1.diff(rf2)
+        assert diff == {"A0": (5, 0), "S1": (0, 2.0)}
+
+    def test_nonzero(self):
+        rf = RegisterFile()
+        rf.write(B(10), 42)
+        assert rf.nonzero() == {"B10": 42}
+
+    def test_snapshot_has_all_registers(self):
+        assert len(RegisterFile().snapshot()) == 144
+
+    def test_eq_against_other_type(self):
+        assert RegisterFile() != object()

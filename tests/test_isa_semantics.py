@@ -1,0 +1,140 @@
+"""Unit tests for the shared ISA value semantics."""
+
+import pytest
+
+from repro.isa import (
+    A,
+    ArithmeticFault,
+    B,
+    Opcode,
+    S,
+    T,
+    branch_taken,
+    coerce_for_bank,
+    effective_address,
+    evaluate,
+    wrap_a,
+    wrap_s_int,
+)
+from repro.isa.semantics import wrap_signed
+
+
+class TestWrapping:
+    @pytest.mark.parametrize("value,bits,expected", [
+        (0, 8, 0),
+        (127, 8, 127),
+        (128, 8, -128),
+        (255, 8, -1),
+        (256, 8, 0),
+        (-129, 8, 127),
+    ])
+    def test_wrap_signed(self, value, bits, expected):
+        assert wrap_signed(value, bits) == expected
+
+    def test_wrap_a_is_24_bit(self):
+        assert wrap_a((1 << 23) - 1) == (1 << 23) - 1
+        assert wrap_a(1 << 23) == -(1 << 23)
+        assert wrap_a(1 << 24) == 0
+
+    def test_wrap_s_int_is_64_bit(self):
+        assert wrap_s_int((1 << 63) - 1) == (1 << 63) - 1
+        assert wrap_s_int(1 << 63) == -(1 << 63)
+
+    def test_wrap_idempotent(self):
+        for value in (-100, 0, 99, 12345):
+            assert wrap_a(wrap_a(value)) == wrap_a(value)
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("op,operands,imm,expected", [
+        (Opcode.A_ADD, [3, 4], None, 7),
+        (Opcode.A_SUB, [3, 4], None, -1),
+        (Opcode.A_MUL, [3, 4], None, 12),
+        (Opcode.A_ADDI, [10], -3, 7),
+        (Opcode.A_IMM, [], 42, 42),
+        (Opcode.S_IMM, [], 2.5, 2.5),
+        (Opcode.S_ADD, [5, 9], None, 14),
+        (Opcode.S_SUB, [5, 9], None, -4),
+        (Opcode.S_AND, [0b1100, 0b1010], None, 0b1000),
+        (Opcode.S_OR, [0b1100, 0b1010], None, 0b1110),
+        (Opcode.S_XOR, [0b1100, 0b1010], None, 0b0110),
+        (Opcode.S_SHL, [1], 4, 16),
+        (Opcode.S_SHR, [16], 4, 1),
+        (Opcode.F_ADD, [1.5, 2.25], None, 3.75),
+        (Opcode.F_SUB, [1.5, 2.25], None, -0.75),
+        (Opcode.F_MUL, [1.5, 2.0], None, 3.0),
+        (Opcode.F_RECIP, [4.0], None, 0.25),
+        (Opcode.MOV, [99], None, 99),
+    ])
+    def test_basic_results(self, op, operands, imm, expected):
+        assert evaluate(op, operands, imm) == expected
+
+    def test_recip_of_zero_faults(self):
+        with pytest.raises(ArithmeticFault):
+            evaluate(Opcode.F_RECIP, [0.0])
+
+    def test_float_overflow_faults(self):
+        with pytest.raises(ArithmeticFault):
+            evaluate(Opcode.F_MUL, [1e308, 1e308])
+
+    def test_integer_op_on_fraction_faults(self):
+        with pytest.raises(ArithmeticFault):
+            evaluate(Opcode.A_ADD, [1.5, 2])
+
+    def test_integer_op_on_integral_float_ok(self):
+        assert evaluate(Opcode.A_ADD, [2.0, 3]) == 5
+
+    def test_shift_is_logical_on_64_bit_pattern(self):
+        # -1 has all 64 bits set; shifting right by 60 leaves 0b1111.
+        assert evaluate(Opcode.S_SHR, [-1], 60) == 0b1111
+
+    def test_branch_has_no_alu_semantics(self):
+        with pytest.raises(ValueError):
+            evaluate(Opcode.BR_ZERO, [0])
+
+
+class TestCoercion:
+    def test_a_bank_wraps_24_bit(self):
+        assert coerce_for_bank(A(0), 1 << 24) == 0
+
+    def test_b_bank_matches_a(self):
+        assert coerce_for_bank(B(0), -1) == -1
+
+    def test_s_bank_keeps_floats(self):
+        assert coerce_for_bank(S(0), 2.75) == 2.75
+
+    def test_t_bank_wraps_int(self):
+        assert coerce_for_bank(T(0), (1 << 64) + 5) == 5
+
+    def test_a_bank_rejects_fractions(self):
+        with pytest.raises(ArithmeticFault):
+            coerce_for_bank(A(0), 2.5)
+
+
+class TestBranches:
+    @pytest.mark.parametrize("op,value,expected", [
+        (Opcode.BR_ZERO, 0, True),
+        (Opcode.BR_ZERO, 1, False),
+        (Opcode.BR_NONZERO, 0, False),
+        (Opcode.BR_NONZERO, -3, True),
+        (Opcode.BR_PLUS, 0, True),
+        (Opcode.BR_PLUS, 5, True),
+        (Opcode.BR_PLUS, -1, False),
+        (Opcode.BR_MINUS, -1, True),
+        (Opcode.BR_MINUS, 0, False),
+    ])
+    def test_conditions(self, op, value, expected):
+        assert branch_taken(op, value) is expected
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(ValueError):
+            branch_taken(Opcode.A_ADD, 0)
+
+
+class TestEffectiveAddress:
+    def test_base_plus_offset(self):
+        assert effective_address(100, 11) == 111
+        assert effective_address(100, -1) == 99
+
+    def test_wraps_to_a_width(self):
+        assert effective_address((1 << 23) - 1, 1) == -(1 << 23)

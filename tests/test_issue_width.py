@@ -1,0 +1,105 @@
+"""Tests for the multi-issue decode extension (ablation A7 support)."""
+
+import pytest
+
+from repro.core import RUUEngine, SpeculativeRUUEngine
+from repro.isa import A, assemble
+from repro.issue import RSTUEngine, SimpleEngine
+from repro.machine import MachineConfig
+from repro.trace import reference_state
+from repro.workloads import all_loops
+
+WIDE = MachineConfig(window_size=16, issue_width=2)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("cls", [SimpleEngine, RSTUEngine, RUUEngine,
+                                     SpeculativeRUUEngine])
+    def test_equivalence_on_loops(self, cls):
+        for workload in all_loops()[:5]:
+            golden = reference_state(workload.program,
+                                     workload.initial_memory)
+            memory = workload.make_memory()
+            engine = cls(workload.program, WIDE, memory=memory)
+            result = engine.run()
+            assert engine.regs == golden.regs, (cls.name, workload.name)
+            assert memory == golden.memory, (cls.name, workload.name)
+            assert result.instructions == golden.executed
+
+    def test_width_zero_rejected_by_behavior(self):
+        # width must be >= 1 to make progress; a zero-width config
+        # simply never issues and trips the cycle limit.
+        from repro.machine import SimulationError
+        engine = RUUEngine(
+            assemble("A_IMM A1, 1\nHALT"),
+            MachineConfig(window_size=4, issue_width=0),
+        )
+        with pytest.raises(SimulationError):
+            engine.run(max_cycles=50)
+
+
+class TestThroughput:
+    def test_two_wide_front_end_speeds_real_code(self):
+        # With one dispatch path and one result bus, pure issue width
+        # cannot raise peak throughput; paired with a second dispatch
+        # path it visibly does (ablation A7's point).
+        config = MachineConfig(window_size=25, issue_width=2,
+                               dispatch_paths=2)
+        narrow_cfg = MachineConfig(window_size=25, issue_width=1,
+                                   dispatch_paths=2)
+        total_wide = 0
+        total_narrow = 0
+        for workload in all_loops()[:6]:
+            total_wide += RSTUEngine(
+                workload.program, config, memory=workload.make_memory()
+            ).run().cycles
+            total_narrow += RSTUEngine(
+                workload.program, narrow_cfg,
+                memory=workload.make_memory(),
+            ).run().cycles
+        assert total_wide < total_narrow
+
+    def test_wider_never_slower(self):
+        for workload in all_loops()[:4]:
+            narrow = RSTUEngine(
+                workload.program, MachineConfig(window_size=16),
+                memory=workload.make_memory(),
+            ).run()
+            wide = RSTUEngine(
+                workload.program, WIDE, memory=workload.make_memory()
+            ).run()
+            assert wide.cycles <= narrow.cycles * 1.01, workload.name
+
+    def test_branch_ends_issue_group(self):
+        # branch as second instruction of a group: resolved in the same
+        # cycle, but nothing after it issues that cycle.
+        source = """
+            A_IMM A1, 1
+            JMP over
+            A_IMM A2, 99
+        over:
+            A_IMM A3, 3
+            HALT
+        """
+        engine = RUUEngine(assemble(source), WIDE)
+        engine.run()
+        assert engine.regs.read(A(2)) == 0
+        assert engine.regs.read(A(3)) == 3
+
+    def test_second_dispatch_path_worth_more_when_two_wide(self):
+        workloads = all_loops()[:6]
+
+        def cycles(width, paths):
+            total = 0
+            config = MachineConfig(
+                window_size=25, issue_width=width, dispatch_paths=paths
+            )
+            for workload in workloads:
+                total += RSTUEngine(
+                    workload.program, config, memory=workload.make_memory()
+                ).run().cycles
+            return total
+
+        gain_narrow = cycles(1, 1) / cycles(1, 2)
+        gain_wide = cycles(2, 1) / cycles(2, 2)
+        assert gain_wide > gain_narrow

@@ -1,0 +1,104 @@
+"""Interaction tests: speculation plus precise interrupts.
+
+The §7 machine must keep the §5 guarantee: a trap older than pending
+predicted branches squashes them along with everything else, the state
+is the sequential prefix, and execution restarts cleanly -- including
+when the restart immediately re-enters speculation.
+"""
+
+import pytest
+
+from repro.core import (
+    AlwaysTakenPredictor,
+    SpeculativeRUUEngine,
+    StaticBTFNPredictor,
+    check_precision,
+    run_with_recovery,
+)
+from repro.isa import assemble
+from repro.machine import MachineConfig
+from repro.trace import reference_state
+from repro.workloads import branch_heavy, fault_probe, lll1
+
+CONFIG = MachineConfig(window_size=16)
+
+
+def spec_factory(predictor_cls=StaticBTFNPredictor):
+    return lambda program, memory: SpeculativeRUUEngine(
+        program, CONFIG, memory=memory, predictor=predictor_cls(),
+    )
+
+
+class TestFaultDuringSpeculation:
+    @pytest.mark.parametrize("predictor_cls", [StaticBTFNPredictor,
+                                               AlwaysTakenPredictor])
+    def test_precise_and_restartable(self, predictor_cls):
+        workload = fault_probe(fault_index=7)
+        engine, records = run_with_recovery(
+            spec_factory(predictor_cls), workload.program,
+            workload.initial_memory, workload.fault_address,
+        )
+        assert len(records) == 1
+        assert records[0].claims_precise
+        clean = reference_state(workload.program, workload.initial_memory)
+        assert engine.regs == clean.regs
+        assert engine.memory == clean.memory
+        assert not engine._pending_branches
+
+    def test_precision_checked_against_prefix(self):
+        workload = lll1()
+        memory = workload.initial_memory.copy()
+        memory.inject_fault(2008)  # y[8]
+        engine = SpeculativeRUUEngine(workload.program, CONFIG,
+                                      memory=memory)
+        engine.run()
+        assert engine.interrupt_record is not None
+        report = check_precision(engine, workload.program,
+                                 workload.initial_memory)
+        assert report.precise, report.describe()
+
+    def test_fault_on_branchy_code(self):
+        workload = branch_heavy(length=80)
+        # fault one of the value loads mid-stream
+        fault_address = 2000 + 41
+        engine, records = run_with_recovery(
+            spec_factory(), workload.program, workload.initial_memory,
+            fault_address,
+        )
+        assert records and records[0].claims_precise
+        clean = reference_state(workload.program, workload.initial_memory)
+        assert engine.regs == clean.regs
+        assert engine.memory == clean.memory
+        failures = workload.validate(engine.memory)
+        assert not failures
+
+    def test_wrong_path_load_fault_never_traps(self):
+        """A page fault raised by a *wrong-path* load must be squashed,
+        not serviced: predicted-not-taken runs into a load of an
+        unmapped address, but the branch is actually taken."""
+        source = """
+            A_IMM A1, 900        ; unmapped page
+            A_IMM A2, 3
+            A_MUL A0, A2, A2     ; slow condition, nonzero -> taken
+            BR_NONZERO A0, safe
+            LOAD_S S1, A1[0]     ; wrong path: would page-fault
+        safe:
+            A_IMM A3, 1
+            HALT
+        """
+        program = assemble(source)
+
+        class NotTaken(StaticBTFNPredictor):
+            def predict(self, inst):
+                return False
+
+        from repro.machine import Memory
+        memory = Memory()
+        memory.inject_fault(900)
+        engine = SpeculativeRUUEngine(program, CONFIG, memory=memory,
+                                      predictor=NotTaken())
+        result = engine.run()
+        assert engine.interrupt_record is None
+        assert result.mispredictions == 1
+        golden = reference_state(program, Memory())
+        assert engine.regs == golden.regs

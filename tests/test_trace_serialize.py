@@ -1,0 +1,100 @@
+"""Tests for trace save/load."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.trace import (
+    FunctionalExecutor,
+    TraceFormatError,
+    dump_trace,
+    load_trace,
+    read_trace,
+    save_trace,
+)
+from repro.workloads import all_loops
+
+
+def make_trace(source):
+    program = assemble(source)
+    executor = FunctionalExecutor(program)
+    return executor.run(), program
+
+
+class TestRoundtrip:
+    def test_simple_roundtrip(self):
+        trace, program = make_trace("""
+            A_IMM A0, 2
+        loop:
+            A_ADDI A0, A0, -1
+            BR_NONZERO A0, loop
+            HALT
+        """)
+        text = dump_trace(trace)
+        loaded = load_trace(text, program)
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace, loaded):
+            assert (a.seq, a.pc, a.taken, a.address) == \
+                (b.seq, b.pc, b.taken, b.address)
+            assert a.inst is b.inst
+
+    def test_memory_addresses_survive(self):
+        trace, program = make_trace("""
+            A_IMM A1, 100
+            S_IMM S1, 1.0
+            STORE_S A1[3], S1
+            LOAD_S S2, A1[3]
+            HALT
+        """)
+        loaded = load_trace(dump_trace(trace), program)
+        addresses = [e.address for e in loaded if e.address is not None]
+        assert addresses == [103, 103]
+
+    def test_livermore_roundtrip(self):
+        workload = all_loops()[4]
+        executor = FunctionalExecutor(workload.program,
+                                      workload.make_memory())
+        trace = executor.run()
+        loaded = load_trace(dump_trace(trace), workload.program)
+        assert len(loaded) == len(trace)
+        assert loaded.fu_mix() == trace.fu_mix()
+
+    def test_file_roundtrip(self, tmp_path):
+        trace, program = make_trace("NOP\nNOP\nHALT")
+        path = tmp_path / "trace.txt"
+        save_trace(trace, str(path))
+        loaded = read_trace(str(path), program)
+        assert len(loaded) == 2
+
+
+class TestErrors:
+    @pytest.fixture
+    def program(self):
+        return assemble("NOP\nBR_ZERO A0, end\nend: HALT")
+
+    def test_missing_header(self, program):
+        with pytest.raises(TraceFormatError):
+            load_trace("0 0 - -\n", program)
+
+    def test_bad_field_count(self, program):
+        with pytest.raises(TraceFormatError):
+            load_trace("# repro-trace v1 count=1\n0 0 -\n", program)
+
+    def test_pc_out_of_range(self, program):
+        with pytest.raises(TraceFormatError):
+            load_trace("# repro-trace v1 count=1\n0 99 - -\n", program)
+
+    def test_branch_flag_on_non_branch(self, program):
+        with pytest.raises(TraceFormatError):
+            load_trace("# repro-trace v1 count=1\n0 0 T -\n", program)
+
+    def test_address_on_non_memory(self, program):
+        with pytest.raises(TraceFormatError):
+            load_trace("# repro-trace v1 count=1\n0 0 - @5\n", program)
+
+    def test_count_mismatch(self, program):
+        with pytest.raises(TraceFormatError):
+            load_trace("# repro-trace v1 count=2\n0 0 - -\n", program)
+
+    def test_bad_taken_flag(self, program):
+        with pytest.raises(TraceFormatError):
+            load_trace("# repro-trace v1 count=1\n0 1 X -\n", program)

@@ -1,0 +1,71 @@
+"""Tests for the self-verification module and its CLI command."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import verify_all, verify_engine
+from repro.machine import MachineConfig
+from repro.workloads import dependency_chain, livermore_suite
+
+
+@pytest.fixture(scope="module")
+def quick():
+    return livermore_suite("quick")
+
+
+class TestVerifyEngine:
+    def test_good_engine_passes(self, quick):
+        report = verify_engine("ruu-bypass", quick,
+                               MachineConfig(window_size=8))
+        assert report.passed
+        assert report.workloads_checked == 14
+        assert "OK" in report.describe()
+
+    def test_all_engines_pass(self, quick):
+        reports = verify_all(quick[:3], MachineConfig(window_size=8))
+        assert len(reports) == 14  # all registered engines
+        assert all(report.passed for report in reports)
+
+    def test_subset_of_engines(self, quick):
+        reports = verify_all(quick[:2], engines=["simple", "rstu"])
+        assert [r.engine for r in reports] == ["simple", "rstu"]
+
+    def test_unknown_engine_raises(self, quick):
+        with pytest.raises(KeyError):
+            verify_engine("nope", quick[:1])
+
+    def test_failure_detected(self, quick, monkeypatch):
+        """Sabotage an engine's result and check the report catches it."""
+        from repro.analysis.sweeps import ENGINE_FACTORIES
+        from repro.isa import A
+
+        real = ENGINE_FACTORIES["simple"]
+
+        def broken(program, config, memory):
+            engine = real(program, config, memory)
+            original_run = engine.run
+
+            def run(*args, **kwargs):
+                result = original_run(*args, **kwargs)
+                engine.regs.write(A(6), 123456)  # corrupt a register
+                return result
+
+            engine.run = run
+            return engine
+
+        monkeypatch.setitem(ENGINE_FACTORIES, "simple", broken)
+        report = verify_engine("simple", [dependency_chain(30)])
+        assert not report.passed
+        assert "register" in report.describe()
+
+
+class TestVerifyCLI:
+    def test_verify_ok(self, capsys):
+        rc = main(["verify", "ruu-bypass", "--suite", "synthetic"])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_unknown_engine(self, capsys):
+        rc = main(["verify", "not-an-engine"])
+        assert rc == 2
+        assert "unknown engine" in capsys.readouterr().out
