@@ -98,6 +98,7 @@ from .machine import (
     aggregate,
     speedup,
 )
+from .lint import LintReport, lint_program, static_critical_path
 from .trace import FunctionalExecutor, prefix_state, reference_state
 from .workloads import Workload, all_loops
 
@@ -116,6 +117,7 @@ __all__ = [
     "HistoryBufferEngine",
     "Instruction",
     "InterruptRecord",
+    "LintReport",
     "MachineConfig",
     "Memory",
     "Opcode",
@@ -147,6 +149,7 @@ __all__ = [
     "demonstrate_restartability",
     "format_sweep_table",
     "format_table1",
+    "lint_program",
     "prefix_state",
     "reference_state",
     "run_suite",
@@ -154,5 +157,6 @@ __all__ = [
     "run_with_recovery",
     "run_workload",
     "speedup",
+    "static_critical_path",
     "sweep_sizes",
 ]

@@ -3,8 +3,12 @@
 Commands:
 
 * ``run FILE``        -- assemble and run an assembly file on an engine
+* ``lint FILE``       -- statically verify an assembly file (CFG,
+  reaching definitions, config cross-checks, critical-path bound)
 * ``compare [loops]`` -- compare all issue mechanisms on Livermore loops
 * ``tables``          -- regenerate the paper's Tables 1-6
+* ``report``          -- generate a Markdown campaign report
+* ``verify``          -- check engines against the golden model
 * ``loops``           -- list the bundled workloads with their stats
 """
 
@@ -23,7 +27,7 @@ from .analysis import (
     sweep_sizes,
 )
 from .isa import assemble
-from .machine import CRAY1_LIKE, MachineConfig, Memory
+from .machine import MachineConfig, Memory
 from .trace import FunctionalExecutor
 from .workloads import LIVERMORE_FACTORIES, all_loops
 
@@ -41,6 +45,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.registers:
         for name, value in sorted(engine.regs.nonzero().items()):
             print(f"  {name:>4s} = {value}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .isa import AssemblyError, ProgramError
+    from .lint import lint_program
+
+    try:
+        with open(args.file) as handle:
+            source = handle.read()
+        program = assemble(source, name=args.file)
+    except OSError as exc:
+        print(f"{args.file}: error: {exc.strerror or exc}")
+        return 1
+    except (AssemblyError, ProgramError) as exc:
+        print(f"{args.file}: error: {exc}")
+        return 1
+    config = MachineConfig(window_size=args.window)
+    report = lint_program(program, config)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.describe())
+    if not report.ok:
+        return 1
+    if args.strict and report.warnings:
+        return 1
     return 0
 
 
@@ -159,6 +190,18 @@ def main(argv=None) -> int:
     p_run.add_argument("--registers", action="store_true",
                        help="dump non-zero registers after the run")
     p_run.set_defaults(func=_cmd_run)
+
+    p_lint = sub.add_parser(
+        "lint", help="statically verify a program before running it"
+    )
+    p_lint.add_argument("file")
+    p_lint.add_argument("--window", type=int, default=12,
+                        help="window size for the config cross-checks")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON diagnostics")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings, not just errors")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_cmp = sub.add_parser("compare", help="compare all mechanisms")
     p_cmp.add_argument("loops", nargs="*", type=int)

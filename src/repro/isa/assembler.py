@@ -19,7 +19,8 @@ Immediates may be integers (decimal, ``0x..``) or floats.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from dataclasses import replace
+from typing import List, Tuple
 
 from .instruction import Instruction
 from .opcodes import OpKind, Opcode
@@ -80,9 +81,10 @@ def _parse_instruction(line: str, line_no: int, raw: str) -> Instruction:
         field.strip() for field in operand_text.split(",") if field.strip()
     ]
     try:
-        return _build(opcode, operands)
+        inst = _build(opcode, operands)
     except (ValueError, IndexError) as exc:
         raise AssemblyError(str(exc), line_no, raw) from exc
+    return replace(inst, line=line_no)
 
 
 def _build(opcode: Opcode, operands: List[str]) -> Instruction:

@@ -26,6 +26,10 @@ class Instruction:
 
     ``target`` is a label name until :meth:`repro.isa.program.Program.
     finalize` resolves it to an instruction index.
+
+    ``line`` is the 1-based source line recorded by the assembler (None
+    for programs built programmatically); error messages and the
+    :mod:`repro.lint` diagnostics use it to point at real source lines.
     """
 
     opcode: Opcode
@@ -35,6 +39,7 @@ class Instruction:
     imm: Optional[object] = None
     target: Optional[object] = None  # label str before, int index after
     pc: int = field(default=-1, compare=False)
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         kind = self.opcode.kind
@@ -50,7 +55,9 @@ class Instruction:
                 f"source(s), got {len(self.srcs)}"
             )
         if self.opcode.is_memory and self.base is None:
-            raise ValueError(f"{self.opcode.mnemonic} requires a base register")
+            raise ValueError(
+                f"{self.opcode.mnemonic} requires a base register"
+            )
         if self.opcode.is_memory and self.base.bank is not RegBank.A:
             raise ValueError("memory base register must be an A register")
         if kind in (OpKind.IMMEDIATE, OpKind.LOAD, OpKind.STORE) \

@@ -13,6 +13,11 @@ class ProgramError(ValueError):
     """Raised for malformed programs (undefined labels, no HALT, ...)."""
 
 
+def _source_line(inst: Instruction) -> str:
+    """``" (line N)"`` when the assembler recorded a source line."""
+    return f" (line {inst.line})" if inst.line is not None else ""
+
+
 @dataclass(frozen=True)
 class Program:
     """An immutable, finalized program.
@@ -75,11 +80,15 @@ def build_program(
         target = inst.target
         if isinstance(target, str):
             if target not in labels:
-                raise ProgramError(f"undefined label {target!r} at pc {pc}")
+                raise ProgramError(
+                    f"undefined label {target!r} at pc {pc}"
+                    f"{_source_line(inst)}"
+                )
             target = labels[target]
         if target is not None and not 0 <= target < len(insts):
             raise ProgramError(
                 f"branch target {target} out of range at pc {pc}"
+                f"{_source_line(inst)}"
             )
         resolved.append(replace(inst, target=target, pc=pc))
 

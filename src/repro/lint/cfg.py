@@ -1,0 +1,207 @@
+"""Static control-flow graph over a finalized :class:`Program`.
+
+Basic blocks are maximal straight-line instruction runs: a leader starts
+at instruction 0, at every (in-range) branch/jump target, and after
+every control-flow or HALT instruction.  Because resolved branch targets
+always name a leader, a block is entered only at its first instruction
+and -- absent a fault -- executes contiguously to its last.  That
+atomicity is what makes the intra-block dependence chains of
+:mod:`repro.lint.critical_path` a sound dynamic lower bound.
+
+The builder is deliberately tolerant of malformed programs (unresolved
+string targets, out-of-range indices): bad edges are dropped here and
+reported by :mod:`repro.lint.structural`, so every rule can still run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.program import Program
+
+
+def _valid_target(target: object, length: int) -> Optional[int]:
+    """Return the target as an in-range int index, else None."""
+    if isinstance(target, bool) or not isinstance(target, int):
+        return None
+    if 0 <= target < length:
+        return target
+    return None
+
+
+@dataclass
+class BasicBlock:
+    """One basic block: instructions ``program[start:end]``."""
+
+    index: int
+    start: int
+    end: int  # one past the last pc in the block
+    instructions: Tuple[Instruction, ...]
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    @property
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+    @property
+    def terminator(self) -> Instruction:
+        """The last instruction of the block."""
+        return self.instructions[-1]
+
+    @property
+    def is_exit(self) -> bool:
+        """Does this block end the program (terminates with HALT)?"""
+        return self.terminator.is_halt
+
+    def __str__(self) -> str:
+        return f"B{self.index}[{self.start}..{self.end - 1}]"
+
+
+class StaticCFG:
+    """Basic blocks plus edges for one program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.blocks: List[BasicBlock] = []
+        self.block_of: Dict[int, int] = {}
+        self._build()
+
+    # -- construction --------------------------------------------------
+
+    def _build(self) -> None:
+        length = len(self.program)
+        if length == 0:
+            return
+        leaders: Set[int] = {0}
+        for inst in self.program:
+            if inst.is_control_flow:
+                target = _valid_target(inst.target, length)
+                if target is not None:
+                    leaders.add(target)
+                if inst.pc + 1 < length:
+                    leaders.add(inst.pc + 1)
+            elif inst.is_halt and inst.pc + 1 < length:
+                leaders.add(inst.pc + 1)
+
+        starts = sorted(leaders)
+        for index, start in enumerate(starts):
+            end = starts[index + 1] if index + 1 < len(starts) else length
+            block = BasicBlock(
+                index=index,
+                start=start,
+                end=end,
+                instructions=tuple(
+                    self.program[pc] for pc in range(start, end)
+                ),
+            )
+            self.blocks.append(block)
+            for pc in block.pcs:
+                self.block_of[pc] = index
+
+        for block in self.blocks:
+            terminator = block.terminator
+            succs: List[int] = []
+            if terminator.is_halt:
+                pass
+            elif terminator.is_control_flow:
+                target = _valid_target(terminator.target, length)
+                if target is not None:
+                    succs.append(self.block_of[target])
+                if terminator.is_branch and terminator.pc + 1 < length:
+                    succs.append(self.block_of[terminator.pc + 1])
+            elif terminator.pc + 1 < length:
+                succs.append(self.block_of[terminator.pc + 1])
+            block.successors = succs
+            for succ in succs:
+                self.blocks[succ].predecessors.append(block.index)
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def entry(self) -> Optional[BasicBlock]:
+        return self.blocks[0] if self.blocks else None
+
+    @property
+    def exit_blocks(self) -> List[BasicBlock]:
+        """Blocks whose terminator is HALT."""
+        return [block for block in self.blocks if block.is_exit]
+
+    def falls_off_end(self) -> List[BasicBlock]:
+        """Blocks whose fall-through runs past the last instruction."""
+        length = len(self.program)
+        bad = []
+        for block in self.blocks:
+            terminator = block.terminator
+            if terminator.is_halt:
+                continue
+            if terminator.is_control_flow:
+                if not terminator.is_branch:
+                    continue  # unconditional jump never falls through
+                if terminator.pc + 1 >= length:
+                    bad.append(block)
+            elif terminator.pc + 1 >= length:
+                bad.append(block)
+        return bad
+
+    def reachable(self) -> Set[int]:
+        """Block indices reachable from the entry block."""
+        if not self.blocks:
+            return set()
+        seen = {0}
+        stack = [0]
+        while stack:
+            for succ in self.blocks[stack.pop()].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def reaches_exit(self) -> Set[int]:
+        """Block indices from which some HALT block is reachable."""
+        seen = {block.index for block in self.exit_blocks}
+        stack = list(seen)
+        while stack:
+            current = stack.pop()
+            for pred in self.blocks[current].predecessors:
+                if pred not in seen:
+                    seen.add(pred)
+                    stack.append(pred)
+        return seen
+
+    def must_execute(self) -> Set[int]:
+        """Blocks on *every* entry-to-HALT path.
+
+        Any terminating execution runs each of these blocks (fully, since
+        blocks execute atomically) at least once.  Computed by deletion:
+        block ``b`` is mandatory iff removing it disconnects the entry
+        from every exit block.  Programs here are tens of blocks, so the
+        O(blocks * edges) sweep is negligible.
+        """
+        if not self.blocks:
+            return set()
+        exits = {block.index for block in self.exit_blocks}
+        if not exits:
+            return {0}
+        mandatory = {0}
+        for candidate in range(1, len(self.blocks)):
+            if not self._exit_reachable_without(candidate, exits):
+                mandatory.add(candidate)
+        return mandatory
+
+    def _exit_reachable_without(self, banned: int, exits: Set[int]) -> bool:
+        if banned == 0:
+            return False
+        seen = {0}
+        stack = [0]
+        while stack:
+            current = stack.pop()
+            if current in exits:
+                return True
+            for succ in self.blocks[current].successors:
+                if succ != banned and succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return False

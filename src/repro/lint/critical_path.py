@@ -1,0 +1,146 @@
+"""A static lower bound on execution time from must-execute blocks.
+
+:func:`repro.analysis.depgraph.dataflow_limit` computes the *dynamic*
+critical path -- the minimum cycles any machine needs given the trace's
+true dependencies.  This module computes a *static* counterpart that is
+provably no larger, for any terminating execution:
+
+* a basic block is entered only at its leader and runs contiguously, so
+  every intra-block RAW chain is a chain of the dynamic dependence DAG
+  whenever the block executes;
+* a block on every entry-to-HALT path (:meth:`StaticCFG.must_execute`)
+  executes at least once in every terminating run;
+* therefore the longest intra-block latency-weighted RAW chain over the
+  must-execute blocks bounds the dynamic critical path from below, and
+  hence every engine's simulated cycle count.
+
+Loads are costed at ``min(memory latency, forward_latency)`` and stores
+at ``min(memory latency, store_execute_latency)`` because the memory
+dependency unit may satisfy them without a full memory access; using
+the cheapest completion path keeps the bound sound for every engine.
+
+The bound is deliberately conservative (it knows nothing about trip
+counts), but it is *checkable*: the test suite asserts
+``static <= dataflow_limit <= simulated cycles`` for every workload and
+engine, which turns this linter pass into a correctness oracle for the
+whole engine matrix -- an engine finishing faster than the static bound
+has a timing bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import FUClass
+from ..isa.program import Program
+from ..isa.registers import Register
+from ..machine.config import CRAY1_LIKE, MachineConfig
+from .cfg import BasicBlock, StaticCFG
+
+
+@dataclass
+class StaticCriticalPath:
+    """The static lower bound and the chain that realises it."""
+
+    cycles: int
+    pcs: List[int] = field(default_factory=list)
+    fu_cycles: Dict[FUClass, int] = field(default_factory=dict)
+    block_start: Optional[int] = None
+
+    def describe(self) -> str:
+        if not self.pcs:
+            return "static critical path: 0 cycles (no mandatory work)"
+        mix = ", ".join(
+            f"{fu.value}={cycles}"
+            for fu, cycles in sorted(
+                self.fu_cycles.items(), key=lambda kv: -kv[1]
+            )
+        )
+        return (
+            f"static critical path: >= {self.cycles} cycles along "
+            f"pcs {self.pcs} (block at pc {self.block_start}); "
+            f"per-unit cycles: {mix}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cycles": self.cycles,
+            "pcs": list(self.pcs),
+            "block_start": self.block_start,
+            "fu_cycles": {
+                fu.value: cycles for fu, cycles in self.fu_cycles.items()
+            },
+        }
+
+
+def _instruction_cost(inst: Instruction, config: MachineConfig) -> int:
+    """Cheapest way this instruction can complete on any engine."""
+    latency = config.latency(inst.fu)
+    if inst.is_load:
+        return min(latency, config.forward_latency)
+    if inst.is_store:
+        return min(latency, config.store_execute_latency)
+    return latency
+
+
+def _block_chain(
+    block: BasicBlock, config: MachineConfig
+) -> Tuple[int, List[int], Dict[FUClass, int]]:
+    """Longest latency-weighted intra-block RAW chain."""
+    finish: Dict[int, int] = {}
+    best_pred: Dict[int, Optional[int]] = {}
+    last_writer: Dict[Register, int] = {}
+    for inst in block.instructions:
+        if inst.is_halt:
+            continue  # HALT never enters the dynamic trace
+        start = 0
+        pred: Optional[int] = None
+        for reg in inst.sources:
+            producer = last_writer.get(reg)
+            if producer is not None and finish[producer] > start:
+                start = finish[producer]
+                pred = producer
+        finish[inst.pc] = start + _instruction_cost(inst, config)
+        best_pred[inst.pc] = pred
+        if inst.dest is not None:
+            last_writer[inst.dest] = inst.pc
+    if not finish:
+        return 0, [], {}
+    tail = max(finish, key=lambda pc: finish[pc])
+    chain: List[int] = []
+    cursor: Optional[int] = tail
+    while cursor is not None:
+        chain.append(cursor)
+        cursor = best_pred[cursor]
+    chain.reverse()
+    fu_cycles: Dict[FUClass, int] = {}
+    for pc in chain:
+        inst = block.instructions[pc - block.start]
+        fu_cycles[inst.fu] = (
+            fu_cycles.get(inst.fu, 0) + _instruction_cost(inst, config)
+        )
+    return finish[tail], chain, fu_cycles
+
+
+def static_critical_path(
+    program: Program,
+    config: Optional[MachineConfig] = None,
+    cfg: Optional[StaticCFG] = None,
+) -> StaticCriticalPath:
+    """The static per-FU-class critical-path lower bound for a program."""
+    config = config or CRAY1_LIKE
+    cfg = cfg or StaticCFG(program)
+    best = StaticCriticalPath(cycles=0)
+    for index in sorted(cfg.must_execute()):
+        block = cfg.blocks[index]
+        cycles, chain, fu_cycles = _block_chain(block, config)
+        if cycles > best.cycles:
+            best = StaticCriticalPath(
+                cycles=cycles,
+                pcs=chain,
+                fu_cycles=fu_cycles,
+                block_start=block.start,
+            )
+    return best

@@ -1,0 +1,175 @@
+"""Reaching-definitions analysis over the A/S/B/T register files.
+
+A classic forward may-analysis on the static CFG: for every program
+point, which definitions (static pcs) of each register may reach it.
+The architectural initial state (all registers hold 0) is modelled as a
+pseudo-definition ``INIT`` so "read before any write" is just "INIT
+reaches the read".
+
+Rules derived from the analysis:
+
+* ``undefined-read`` (warning) -- a register read that the implicit
+  initial zero may reach: on some path nothing ever wrote the register.
+  Kernels that genuinely want the initial zero are rare enough (and the
+  habit dangerous enough on real machines) that the linter flags it.
+* ``dead-write`` (warning) -- a definition that no instruction reads
+  and that cannot survive to HALT: on every path it is overwritten
+  before use, so the instruction does no architectural work.
+
+Unreachable blocks are excluded (they are reported separately by the
+structural pass and have no dataflow facts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from ..isa.program import Program
+from ..isa.registers import Register
+from .cfg import StaticCFG
+from .diagnostics import Diagnostic, Severity
+
+#: Pseudo-definition site standing for the architectural initial zero.
+INIT = -1
+
+_State = Dict[Register, FrozenSet[int]]
+
+
+def _transfer(state: _State, instructions) -> _State:
+    out = dict(state)
+    for inst in instructions:
+        if inst.dest is not None:
+            out[inst.dest] = frozenset((inst.pc,))
+    return out
+
+
+def _lookup(state: _State, reg: Register) -> FrozenSet[int]:
+    """Absent registers were never written on any path: INIT reaches."""
+    return state.get(reg, frozenset((INIT,)))
+
+
+class ReachingDefinitions:
+    """Fixpoint solver exposing per-instruction reaching-def facts."""
+
+    def __init__(self, program: Program, cfg: StaticCFG) -> None:
+        self.program = program
+        self.cfg = cfg
+        self.reachable = cfg.reachable()
+        self.block_in: Dict[int, _State] = {
+            index: {} for index in self.reachable
+        }
+        self._solve()
+
+    def _solve(self) -> None:
+        """Worklist fixpoint.  A block that has received no flow yet is
+        bottom; its state is seeded by copying the first incoming edge
+        (an empty *seeded* map legitimately means "INIT everywhere",
+        which is exactly right for the entry block)."""
+        blocks = self.cfg.blocks
+        block_out: Dict[int, _State] = {}
+        seeded = {0}
+        worklist: List[int] = [0]
+        while worklist:
+            index = worklist.pop(0)
+            block = blocks[index]
+            out = _transfer(self.block_in[index], block.instructions)
+            if block_out.get(index) == out:
+                continue
+            block_out[index] = out
+            for succ in block.successors:
+                if succ not in self.reachable:
+                    continue
+                if succ not in seeded:
+                    self.block_in[succ] = dict(out)
+                    seeded.add(succ)
+                    worklist.append(succ)
+                    continue
+                merged = self.block_in[succ]
+                changed = False
+                for reg in set(merged) | set(out):
+                    joined = _lookup(merged, reg) | _lookup(out, reg)
+                    if merged.get(reg) != joined:
+                        merged[reg] = joined
+                        changed = True
+                if changed and succ not in worklist:
+                    worklist.append(succ)
+
+    # -- fact extraction -----------------------------------------------
+
+    def walk(self):
+        """Yield ``(inst, state_before)`` for every reachable instruction
+        in pc order; states are reaching-def maps at that point."""
+        for index in sorted(self.reachable):
+            block = self.cfg.blocks[index]
+            state = dict(self.block_in[index])
+            for inst in block.instructions:
+                yield inst, state
+                if inst.dest is not None:
+                    state = dict(state)
+                    state[inst.dest] = frozenset((inst.pc,))
+
+
+def check_dataflow(program: Program, cfg: StaticCFG) -> List[Diagnostic]:
+    """Run reaching definitions and derive its two rules."""
+    if not cfg.blocks:
+        return []
+    analysis = ReachingDefinitions(program, cfg)
+
+    diagnostics: List[Diagnostic] = []
+    used_defs: Set[int] = set()
+    all_defs: Dict[int, Register] = {}
+    surviving: Set[int] = set()
+
+    for inst, state in analysis.walk():
+        for reg in inst.sources:
+            reaching = _lookup(state, reg)
+            used_defs |= reaching
+            if INIT in reaching:
+                diagnostics.append(
+                    Diagnostic(
+                        rule="undefined-read",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"{inst.opcode.mnemonic} reads {reg.name}, "
+                            f"which may never have been written (it would "
+                            f"hold the architectural initial 0)"
+                        ),
+                        pc=inst.pc,
+                        line=inst.line,
+                    )
+                )
+        if inst.dest is not None:
+            all_defs[inst.pc] = inst.dest
+        if inst.is_halt:
+            # Every definition live at HALT is architecturally
+            # observable final state, hence not dead.
+            for reaching in state.values():
+                surviving |= reaching
+
+    # Definitions in blocks that fall off the end also survive (the
+    # structural pass reports the missing HALT itself).
+    for block in cfg.falls_off_end():
+        if block.index in analysis.reachable:
+            state = dict(analysis.block_in[block.index])
+            state = _transfer(state, block.instructions)
+            for reaching in state.values():
+                surviving |= reaching
+
+    for pc, reg in sorted(all_defs.items()):
+        if pc in used_defs or pc in surviving:
+            continue
+        inst = program[pc]
+        diagnostics.append(
+            Diagnostic(
+                rule="dead-write",
+                severity=Severity.WARNING,
+                message=(
+                    f"value written to {reg.name} by "
+                    f"{inst.opcode.mnemonic} is overwritten before any "
+                    f"read on every path (dead write)"
+                ),
+                pc=pc,
+                line=inst.line,
+            )
+        )
+    return diagnostics

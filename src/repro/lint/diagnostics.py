@@ -1,0 +1,139 @@
+"""Structured lint findings: severities, diagnostics, and reports.
+
+Every rule in :mod:`repro.lint` reports a :class:`Diagnostic` -- a rule
+id, a severity, the static instruction index (``pc``) and, when the
+program came from :func:`repro.isa.assembler.assemble`, the source line
+number.  A :class:`LintReport` collects the diagnostics for one program
+together with the static critical-path bound, and renders them either
+as compiler-style text or as JSON-ready dictionaries.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .critical_path import StaticCriticalPath
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering allows threshold comparisons."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        """Lower-case name used in rendered diagnostics ("error", ...)."""
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule at one program point.
+
+    ``pc`` is the static instruction index (None for whole-program
+    findings such as configuration mismatches); ``line`` is the source
+    line recorded by the assembler, when the program has one.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    pc: Optional[int] = None
+    line: Optional[int] = None
+
+    def format(self, program_name: str = "<program>") -> str:
+        """Render compiler-style: ``name:line: severity: [rule] text``."""
+        where = program_name
+        if self.line is not None:
+            where = f"{program_name}:{self.line}"
+        elif self.pc is not None:
+            where = f"{program_name}:pc{self.pc}"
+        return f"{where}: {self.severity.label}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready mapping (machine-readable output)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+            "pc": self.pc,
+            "line": self.line,
+        }
+
+
+class LintReport:
+    """All findings for one program, ordered and queryable by rule."""
+
+    def __init__(
+        self,
+        program_name: str,
+        diagnostics: List[Diagnostic],
+        critical_path: Optional["StaticCriticalPath"] = None,
+    ) -> None:
+        self.program_name = program_name
+        self.diagnostics = sorted(
+            diagnostics,
+            key=lambda d: (
+                d.pc if d.pc is not None else len(diagnostics) + 10 ** 9,
+                -int(d.severity),
+                d.rule,
+            ),
+        )
+        self.critical_path = critical_path
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when the program has no error-severity findings."""
+        return not self.errors
+
+    def by_rule(self, rule: str) -> List[Diagnostic]:
+        """All findings of one rule (empty list when clean)."""
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    # -- rendering -----------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable report: one line per finding plus a summary."""
+        lines = [d.format(self.program_name) for d in self.diagnostics]
+        lines.append(
+            f"{self.program_name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+        if self.critical_path is not None:
+            lines.append(self.critical_path.describe())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "program": self.program_name,
+            "ok": self.ok,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        if self.critical_path is not None:
+            payload["critical_path"] = self.critical_path.to_dict()
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

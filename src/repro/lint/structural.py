@@ -1,0 +1,235 @@
+"""Structural validity rules over the static CFG.
+
+* ``unresolved-target`` / ``bad-branch-target`` (error) -- a control
+  transfer to a label that was never resolved, or to an instruction
+  index outside the program.  :func:`repro.isa.program.build_program`
+  rejects these, but hand-built :class:`Program` tuples can smuggle
+  them in, and they crash engines mid-simulation.
+* ``missing-halt`` (error) -- control can fall off the end of the
+  instruction stream (no terminating HALT on some path).
+* ``unreachable-code`` (warning) -- a basic block no path from entry
+  reaches.
+* ``no-exit-path`` (error) -- a reachable block from which no HALT is
+  reachable: once control enters, the program can never terminate
+  (a loop with no exit path).
+* ``address-bounds`` (warning) -- a memory access whose effective
+  address is statically known (by constant propagation over the
+  register files) and negative; the sparse :class:`Memory` accepts it
+  after 24-bit wrapping, but it almost certainly indicates a pointer
+  arithmetic bug.
+
+Constant propagation is a tiny abstract interpretation: each register
+is either a known constant or TOP, joined across CFG edges, reusing the
+real ISA semantics (:func:`repro.isa.semantics.evaluate`) so the
+analysis can never disagree with execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import OpKind
+from ..isa.program import Program
+from ..isa.registers import Register
+from ..isa.semantics import ArithmeticFault, coerce_for_bank, evaluate
+from .cfg import StaticCFG, _valid_target
+from .diagnostics import Diagnostic, Severity
+
+
+def check_structure(program: Program, cfg: StaticCFG) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    length = len(program)
+
+    if length == 0:
+        return [
+            Diagnostic(
+                rule="missing-halt",
+                severity=Severity.ERROR,
+                message="program is empty (no instructions, no HALT)",
+            )
+        ]
+
+    for inst in program:
+        if not inst.is_control_flow:
+            continue
+        if isinstance(inst.target, str):
+            diagnostics.append(
+                Diagnostic(
+                    rule="unresolved-target",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{inst.opcode.mnemonic} targets unresolved label "
+                        f"{inst.target!r} (program was never finalized)"
+                    ),
+                    pc=inst.pc,
+                    line=inst.line,
+                )
+            )
+        elif _valid_target(inst.target, length) is None:
+            diagnostics.append(
+                Diagnostic(
+                    rule="bad-branch-target",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{inst.opcode.mnemonic} targets instruction "
+                        f"{inst.target!r}, outside the program "
+                        f"(0..{length - 1})"
+                    ),
+                    pc=inst.pc,
+                    line=inst.line,
+                )
+            )
+
+    for block in cfg.falls_off_end():
+        terminator = block.terminator
+        diagnostics.append(
+            Diagnostic(
+                rule="missing-halt",
+                severity=Severity.ERROR,
+                message=(
+                    f"control falls off the end of the program after "
+                    f"{terminator.opcode.mnemonic} (no terminating HALT)"
+                ),
+                pc=terminator.pc,
+                line=terminator.line,
+            )
+        )
+
+    reachable = cfg.reachable()
+    reaches_exit = cfg.reaches_exit()
+    for block in cfg.blocks:
+        first = block.instructions[0]
+        if block.index not in reachable:
+            diagnostics.append(
+                Diagnostic(
+                    rule="unreachable-code",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"instructions {block.start}..{block.end - 1} are "
+                        f"unreachable from the program entry"
+                    ),
+                    pc=block.start,
+                    line=first.line,
+                )
+            )
+        elif block.index not in reaches_exit:
+            diagnostics.append(
+                Diagnostic(
+                    rule="no-exit-path",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"no path from instruction {block.start} ever "
+                        f"reaches HALT (loop with no exit path)"
+                    ),
+                    pc=block.start,
+                    line=first.line,
+                )
+            )
+
+    diagnostics.extend(_check_addresses(program, cfg, reachable))
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# constant propagation for statically-known effective addresses
+# ----------------------------------------------------------------------
+
+#: Abstract "unknown value" for the constant domain.
+TOP = object()
+
+_ConstState = Dict[Register, object]
+
+
+def _const_transfer(state: _ConstState, inst: Instruction) -> None:
+    """Update the constant map across one instruction, in place."""
+    if inst.dest is None:
+        return
+    kind = inst.opcode.kind
+    if kind is OpKind.LOAD:
+        state[inst.dest] = TOP
+        return
+    operands = [state.get(reg, 0) for reg in inst.srcs]
+    if any(value is TOP for value in operands):
+        state[inst.dest] = TOP
+        return
+    try:
+        raw = evaluate(inst.opcode, operands, inst.imm)
+        state[inst.dest] = coerce_for_bank(inst.dest, raw)
+    except (ArithmeticFault, ArithmeticError, ValueError, TypeError):
+        state[inst.dest] = TOP
+
+
+def _propagate_constants(
+    program: Program, cfg: StaticCFG, reachable
+) -> Dict[int, _ConstState]:
+    """Fixpoint constant map at each reachable block entry.
+
+    Registers architecturally start at 0 and propagated maps carry every
+    assignment forward, so a register absent from a map is known-0 along
+    every path the map summarises; lookups use ``get(reg, 0)``.  A block
+    that has not yet received any flow is bottom, handled by seeding its
+    state from the first incoming edge rather than joining.
+    """
+    block_in: Dict[int, _ConstState] = {0: {}}
+    block_out: Dict[int, _ConstState] = {}
+    worklist = [0]
+    while worklist:
+        index = worklist.pop(0)
+        state = dict(block_in[index])
+        for inst in cfg.blocks[index].instructions:
+            _const_transfer(state, inst)
+        if block_out.get(index) == state:
+            continue
+        block_out[index] = state
+        for succ in cfg.blocks[index].successors:
+            if succ not in reachable:
+                continue
+            if succ not in block_in:
+                block_in[succ] = dict(state)
+                worklist.append(succ)
+                continue
+            merged = block_in[succ]
+            changed = False
+            for reg in set(merged) | set(state):
+                mine = state.get(reg, 0)
+                theirs = merged.get(reg, 0)
+                joined = mine if mine == theirs else TOP
+                if reg not in merged or merged[reg] != joined:
+                    merged[reg] = joined
+                    changed = True
+            if changed and succ not in worklist:
+                worklist.append(succ)
+    return block_in
+
+
+def _check_addresses(
+    program: Program, cfg: StaticCFG, reachable
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    block_in = _propagate_constants(program, cfg, reachable)
+    for index in sorted(reachable):
+        state = dict(block_in.get(index, {}))
+        for inst in cfg.blocks[index].instructions:
+            if inst.is_memory:
+                base = state.get(inst.base, 0)
+                if base is not TOP and isinstance(base, int):
+                    address = base + int(inst.imm)
+                    if address < 0:
+                        diagnostics.append(
+                            Diagnostic(
+                                rule="address-bounds",
+                                severity=Severity.WARNING,
+                                message=(
+                                    f"{inst.opcode.mnemonic} address is "
+                                    f"statically {address} "
+                                    f"({inst.base.name}={base} + "
+                                    f"{inst.imm}): negative addresses "
+                                    f"wrap through the 24-bit A width"
+                                ),
+                                pc=inst.pc,
+                                line=inst.line,
+                            )
+                        )
+            _const_transfer(state, inst)
+    return diagnostics

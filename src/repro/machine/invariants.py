@@ -20,8 +20,16 @@ structural properties the design relies on:
 * the memory queue's in-flight population matches the window's
   un-finished memory instructions.
 
-This is how the test-suite checks the RUU's *internal* consistency on
-every cycle of real workloads, not just its architectural outputs.
+Engines without RUU bookkeeping (simple, Tomasulo, RSTU, ...) still get
+generic post-cycle checks: the retired count never shrinks except
+across an interrupt or misprediction recovery, the retire log mirrors
+the counter, no instruction retires before it was fetched, and the
+cycle counter stays within the configured budget.  Attaching to *any*
+engine is therefore always meaningful -- ``cycles_checked`` counts real
+assertions, never silent no-ops.
+
+This is how the test-suite checks each engine's *internal* consistency
+on every cycle of real workloads, not just its architectural outputs.
 """
 
 from __future__ import annotations
@@ -43,6 +51,13 @@ class InvariantChecker:
         self.engine = engine
         self.cycles_checked = 0
         self._original_tick = engine.tick
+        self._last_retired = engine.retired
+        self._last_recoveries = self._recoveries()
+
+    def _recoveries(self) -> int:
+        """Events that legitimately roll the retired counter back."""
+        engine = self.engine
+        return engine.interrupt_count + engine.mispredictions
 
     @classmethod
     def attach(cls, engine) -> "InvariantChecker":
@@ -63,8 +78,36 @@ class InvariantChecker:
     def check(self) -> None:
         self.cycles_checked += 1
         engine = self.engine
+        self._check_generic(engine)
         if hasattr(engine, "window") and hasattr(engine, "_ni"):
             self._check_ruu(engine)
+
+    def _check_generic(self, engine) -> None:
+        """Post-cycle checks every engine must satisfy."""
+        recoveries = self._recoveries()
+        if engine.retired < self._last_retired \
+                and recoveries == self._last_recoveries:
+            self._fail(
+                f"retired count went backwards ({self._last_retired} -> "
+                f"{engine.retired}) with no interrupt or recovery"
+            )
+        self._last_retired = engine.retired
+        self._last_recoveries = recoveries
+        if len(engine.retire_log) != engine.retired:
+            self._fail(
+                f"retire log holds {len(engine.retire_log)} entries but "
+                f"the retired counter says {engine.retired}"
+            )
+        if engine.retired > engine.next_seq:
+            self._fail(
+                f"retired {engine.retired} instructions but only "
+                f"{engine.next_seq} were ever fetched"
+            )
+        if engine.cycle > engine.config.max_cycles:
+            self._fail(
+                f"cycle counter {engine.cycle} exceeds the configured "
+                f"budget of {engine.config.max_cycles}"
+            )
 
     def _fail(self, message: str) -> None:
         raise InvariantViolation(

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis import ENGINE_FACTORIES
 from repro.core import (
     AlwaysTakenPredictor,
     BypassMode,
@@ -60,6 +61,83 @@ class TestCheckedRuns:
             memory=workload.make_memory(),
         )
         run_checked(engine)
+
+
+class TestGenericChecks:
+    """Every engine -- not just the RUU -- gets post-cycle assertions."""
+
+    @pytest.mark.parametrize(
+        "engine_name", ["simple", "tomasulo", "rstu"]
+    )
+    def test_generic_invariants_hold_on_real_kernels(self, engine_name):
+        builder = ENGINE_FACTORIES[engine_name]
+        for workload in all_loops()[:4]:
+            engine = builder(
+                workload.program, MachineConfig(window_size=10),
+                workload.make_memory(),
+            )
+            result, checker = run_checked(engine)
+            # Attaching was not a silent no-op: a real assertion ran
+            # after every simulated cycle.
+            assert checker.cycles_checked == result.cycles
+
+    def test_detects_retired_counter_rollback(self):
+        from repro.isa import assemble
+        source = "A_IMM A1, 1\nA_IMM A2, 2\nA_IMM A3, 3\nHALT"
+        builder = ENGINE_FACTORIES["simple"]
+        engine = builder(assemble(source), MachineConfig(), None)
+        InvariantChecker.attach(engine)
+
+        original_tick = engine.tick
+        sabotaged = []
+
+        def corrupting_tick():
+            original_tick()
+            if engine.retired >= 2 and not sabotaged:
+                # roll the counter back without any recovery event; the
+                # next cycle's check observes the decrease
+                sabotaged.append(True)
+                engine.retired -= 2
+                del engine.retire_log[-2:]
+
+        engine.tick = corrupting_tick
+        with pytest.raises(InvariantViolation,
+                           match="retired count went backwards"):
+            engine.run()
+
+    def test_detects_retire_log_mismatch(self):
+        from repro.isa import assemble
+        builder = ENGINE_FACTORIES["tomasulo"]
+        engine = builder(
+            assemble("A_IMM A1, 1\nA_IMM A2, 2\nHALT"),
+            MachineConfig(), None,
+        )
+        InvariantChecker.attach(engine)
+
+        original_tick = engine.tick
+
+        def corrupting_tick():
+            original_tick()
+            if engine.retired == 1:
+                engine.retire_log.append(engine.retire_log[-1])
+
+        engine.tick = corrupting_tick
+        with pytest.raises(InvariantViolation, match="retire log"):
+            engine.run()
+
+    def test_recovery_rollback_is_not_flagged(self):
+        # Interrupt recovery legitimately discards retired counts; the
+        # generic check must not fire on it.
+        workload = fault_probe()
+        memory = workload.make_memory()
+        memory.inject_fault(workload.fault_address)
+        engine = RUUEngine(
+            workload.program, MachineConfig(window_size=10), memory=memory
+        )
+        checker = InvariantChecker.attach(engine)
+        engine.run()
+        assert engine.interrupt_count > 0
+        assert checker.cycles_checked > 0
 
 
 class TestDetection:
