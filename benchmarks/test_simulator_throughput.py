@@ -36,4 +36,9 @@ def test_engine_throughput(benchmark, engine_name, workload):
     instructions = result.instructions
     benchmark.extra_info["simulated_instructions"] = instructions
     benchmark.extra_info["simulated_cycles"] = result.cycles
+    # the engines' own host-perf telemetry (one-shot, unlike the
+    # multi-round pytest-benchmark numbers above)
+    benchmark.extra_info["host_inst_per_sec"] = \
+        result.extra["host_inst_per_sec"]
     assert instructions > 0
+    assert result.extra["host_seconds"] > 0

@@ -8,34 +8,63 @@ renders the issue-rate surfaces as ASCII charts -- showing where
 out-of-order issue pays (many independent chains, light memory) and
 where every machine converges (serial chains, heavy memory traffic).
 
-Run:  python examples/design_space.py
+The whole (engine x workload) grid is one flat bag of independent
+simulations, so it goes through the parallel runner; ``--jobs N`` fans
+it over N worker processes with identical output.
+
+Run:  python examples/design_space.py [--jobs 4]
 """
 
-from repro import ENGINE_FACTORIES, MachineConfig
-from repro.analysis import ascii_chart
+import argparse
+
+from repro import MachineConfig
+from repro.analysis import ParallelRunner, SimPoint, ascii_chart
 from repro.workloads import GeneratorSpec, generate_workload
 
 ENGINES = ["simple", "rstu", "ruu-bypass"]
 CONFIG = MachineConfig(window_size=16)
 
 
-def issue_rate(engine_name, workload):
-    engine = ENGINE_FACTORIES[engine_name](
-        workload.program, CONFIG, workload.make_memory()
-    )
-    return engine.run().issue_rate
-
-
 def main() -> None:
-    print("sweeping independent chains (no memory traffic)...")
-    ilp_curves = {engine: {} for engine in ENGINES}
-    for streams in (1, 2, 3):
-        workload = generate_workload(GeneratorSpec(
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1: serial)")
+    args = parser.parse_args()
+    runner = ParallelRunner(jobs=args.jobs)
+
+    ilp_workloads = {
+        streams: generate_workload(GeneratorSpec(
             streams=streams, memory_fraction=0.0,
             iterations=24, body_ops=18, seed=11,
         ))
+        for streams in (1, 2, 3)
+    }
+    mem_workloads = {
+        percent: generate_workload(GeneratorSpec(
+            streams=3, memory_fraction=percent / 100,
+            iterations=24, body_ops=18, seed=11,
+        ))
+        for percent in (0, 25, 50, 75)
+    }
+
+    # One flat fan-out over every (engine, workload) point; results come
+    # back in submission order, so indexing below is deterministic.
+    points = []
+    for workload in ilp_workloads.values():
+        points.extend(SimPoint(engine, workload, CONFIG)
+                      for engine in ENGINES)
+    for workload in mem_workloads.values():
+        points.extend(SimPoint(engine, workload, CONFIG)
+                      for engine in ENGINES)
+    print(f"running {len(points)} simulation points "
+          f"({runner.jobs} jobs)...")
+    results = iter(runner.run_points(points))
+
+    print("sweeping independent chains (no memory traffic)...")
+    ilp_curves = {engine: {} for engine in ENGINES}
+    for streams in ilp_workloads:
         for engine in ENGINES:
-            ilp_curves[engine][streams] = issue_rate(engine, workload)
+            ilp_curves[engine][streams] = next(results).issue_rate
     print(ascii_chart(
         ilp_curves, width=48, height=14,
         title="issue rate vs independent chains",
@@ -45,13 +74,9 @@ def main() -> None:
 
     print("sweeping memory intensity (3 chains)...")
     mem_curves = {engine: {} for engine in ENGINES}
-    for percent in (0, 25, 50, 75):
-        workload = generate_workload(GeneratorSpec(
-            streams=3, memory_fraction=percent / 100,
-            iterations=24, body_ops=18, seed=11,
-        ))
+    for percent in mem_workloads:
         for engine in ENGINES:
-            mem_curves[engine][percent] = issue_rate(engine, workload)
+            mem_curves[engine][percent] = next(results).issue_rate
     print(ascii_chart(
         mem_curves, width=48, height=14,
         title="issue rate vs % of ops touching memory",

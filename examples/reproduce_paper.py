@@ -6,13 +6,17 @@ the shape-fidelity summary recorded in EXPERIMENTS.md.  This is the
 same machinery the benchmark suite uses (`pytest benchmarks/
 --benchmark-only`), packaged as a single script.
 
-Run:  python examples/reproduce_paper.py          (~2-3 minutes)
+Run:  python examples/reproduce_paper.py            (~2-3 minutes)
+      python examples/reproduce_paper.py --jobs 4   (parallel sweeps;
+      identical tables, limited by your core count)
 """
 
+import argparse
 import time
 
-from repro import ENGINE_FACTORIES, MachineConfig, run_suite
+from repro import ENGINE_FACTORIES, run_suite
 from repro.analysis import (
+    ParallelRunner,
     format_sweep_table,
     format_table1,
     paper_data,
@@ -24,15 +28,27 @@ from repro.workloads import all_loops
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweeps "
+                             "(default 1: serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk result cache shared by the workers")
+    args = parser.parse_args()
+
+    runner = None
+    if args.jobs > 1 or args.cache_dir:
+        runner = ParallelRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+
     start = time.time()
     loops = all_loops()
 
     print("Table 1: statistics for the benchmark programs (simple issue)")
-    results = per_loop_baseline(loops)
+    results = per_loop_baseline(loops, runner=runner)
     print(format_table1(results, paper_data.TABLE1_BASELINE))
     print()
 
-    baseline = run_suite(ENGINE_FACTORIES["simple"], loops)
+    baseline = run_suite(ENGINE_FACTORIES["simple"], loops, runner=runner)
 
     tables = [
         ("Table 2: RSTU, one dispatch path", "rstu",
@@ -50,7 +66,7 @@ def main() -> None:
 
     for title, engine, sizes, paper_table, overrides in tables:
         sweep = sweep_sizes(engine, sizes, workloads=loops,
-                            baseline=baseline, **overrides)
+                            baseline=baseline, runner=runner, **overrides)
         print(format_sweep_table(sweep, paper_table, title))
         paper_curve = {s: v[0] for s, v in paper_table.items()}
         report = shape_report(sweep.speedups(), paper_curve, title)
@@ -66,6 +82,13 @@ def main() -> None:
         print()
 
     print(f"total wall time: {time.time() - start:.1f}s")
+    if runner is not None and runner.points_run:
+        print(
+            f"parallel runner: {runner.points_run} points over "
+            f"{runner.jobs} jobs, {runner.host_seconds:.1f}s simulator "
+            f"time in {runner.wall_seconds:.1f}s wall, "
+            f"cache {runner.hits} hits / {runner.misses} misses"
+        )
 
 
 if __name__ == "__main__":

@@ -42,6 +42,8 @@ Quickstart::
 
 from .analysis import (
     ENGINE_FACTORIES,
+    ParallelRunner,
+    SimPoint,
     format_sweep_table,
     format_table1,
     run_suite,
@@ -121,6 +123,7 @@ __all__ = [
     "MachineConfig",
     "Memory",
     "Opcode",
+    "ParallelRunner",
     "Program",
     "ProgramBuilder",
     "RSPoolEngine",
@@ -132,6 +135,7 @@ __all__ = [
     "ReorderBufferBypassEngine",
     "ReorderBufferEngine",
     "S",
+    "SimPoint",
     "SimResult",
     "SimpleEngine",
     "SpeculativeRUUEngine",

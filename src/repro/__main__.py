@@ -7,6 +7,9 @@ Commands:
   reaching definitions, config cross-checks, critical-path bound)
 * ``compare [loops]`` -- compare all issue mechanisms on Livermore loops
 * ``tables``          -- regenerate the paper's Tables 1-6
+  (``--jobs N`` fans the sweeps over worker processes)
+* ``bench``           -- measure the sweep harness itself (serial vs
+  parallel, cache hit rate) and emit a ``BENCH_*.json`` perf baseline
 * ``report``          -- generate a Markdown campaign report
 * ``verify``          -- check engines against the golden model
 * ``loops``           -- list the bundled workloads with their stats
@@ -96,11 +99,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
+    from .analysis.parallel import ParallelRunner
+
+    runner = None
+    if getattr(args, "jobs", 1) and args.jobs > 1:
+        runner = ParallelRunner(jobs=args.jobs, cache_dir=args.cache_dir)
     loops = all_loops()
-    print(format_table1(per_loop_baseline(loops),
+    print(format_table1(per_loop_baseline(loops, runner=runner),
                         paper_data.TABLE1_BASELINE))
     print()
-    baseline = run_suite(ENGINE_FACTORIES["simple"], loops)
+    baseline = run_suite(ENGINE_FACTORIES["simple"], loops, runner=runner)
     specs = [
         ("Table 2: RSTU (1 path)", "rstu", paper_data.RSTU_SIZES,
          paper_data.TABLE2_RSTU, {}),
@@ -115,10 +123,48 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     ]
     for title, engine, sizes, table, overrides in specs:
         sweep = sweep_sizes(engine, sizes, workloads=loops,
-                            baseline=baseline, **overrides)
+                            baseline=baseline, runner=runner, **overrides)
         print(format_sweep_table(sweep, table, title))
         print()
+    if runner is not None and runner.points_run:
+        print(
+            f"[{runner.points_run} points over {runner.jobs} jobs: "
+            f"{runner.wall_seconds:.1f}s wall, "
+            f"{runner.host_seconds:.1f}s simulator time, "
+            f"cache {runner.hits} hits / {runner.misses} misses]"
+        )
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .analysis.bench import format_bench, run_bench, write_bench_json
+    from .workloads import SUITES
+
+    workloads = SUITES[args.suite]()
+    engines = args.engines or None
+    unknown = [name for name in (engines or [])
+               if name not in ENGINE_FACTORIES]
+    if unknown:
+        print(f"unknown engine(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(sorted(ENGINE_FACTORIES))}")
+        return 2
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
+        cache_dir = args.cache_dir or scratch
+        kwargs = {}
+        if engines:
+            kwargs["engines"] = engines
+        if args.sizes:
+            kwargs["sizes"] = args.sizes
+        report = run_bench(
+            workloads, jobs=args.jobs, cache_dir=cache_dir, **kwargs
+        )
+    print(format_bench(report))
+    if args.json:
+        write_bench_json(report, args.json)
+        print(f"wrote {args.json}")
+    return 0 if report["identical_to_serial"] else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -209,7 +255,34 @@ def main(argv=None) -> int:
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_tab = sub.add_parser("tables", help="regenerate Tables 1-6")
+    p_tab.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweeps (default 1: "
+                            "serial)")
+    p_tab.add_argument("--cache-dir", default=None,
+                       help="shared on-disk result cache for the workers")
     p_tab.set_defaults(func=_cmd_tables)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the sweep harness (serial vs parallel) and emit "
+             "a BENCH JSON perf baseline",
+    )
+    p_bench.add_argument("--jobs", type=int, default=0,
+                         help="worker processes (default: cpu count)")
+    p_bench.add_argument("--json", default=None, metavar="FILE",
+                         help="write the machine-readable report here "
+                              "(e.g. BENCH_sweeps.json)")
+    p_bench.add_argument("--suite", default="quick",
+                         choices=["quick", "livermore", "paper",
+                                  "synthetic"])
+    p_bench.add_argument("--engines", nargs="*", default=None,
+                         help="engines to sweep (default: rstu ruu-bypass)")
+    p_bench.add_argument("--sizes", nargs="*", type=int, default=None,
+                         help="window sizes to sweep (default: 4 8 12)")
+    p_bench.add_argument("--cache-dir", default=None,
+                         help="result-cache directory (default: a "
+                              "temporary directory, discarded after)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_report = sub.add_parser(
         "report", help="generate a Markdown campaign report"

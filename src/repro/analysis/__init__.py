@@ -1,7 +1,16 @@
 """Sweep harness, paper reference data, table rendering, shape metrics."""
 
 from . import paper_data
+from .bench import bench_points, format_bench, run_bench, write_bench_json
 from .cache import ResultCache, cache_key
+from .parallel import (
+    ParallelRunner,
+    SimPoint,
+    per_loop_parallel,
+    run_point,
+    run_suite_parallel,
+    sweep_sizes_parallel,
+)
 from .depgraph import (
     DataflowLimit,
     build_dependence_graph,
@@ -45,12 +54,22 @@ from .verify import (
 __all__ = [
     "DataflowLimit",
     "ENGINE_FACTORIES",
+    "ParallelRunner",
     "ReportSpec",
     "ResultCache",
+    "SimPoint",
     "Sweep",
     "SweepRow",
+    "bench_points",
     "build_report",
     "cache_key",
+    "format_bench",
+    "per_loop_parallel",
+    "run_bench",
+    "run_point",
+    "run_suite_parallel",
+    "sweep_sizes_parallel",
+    "write_bench_json",
     "ascii_chart",
     "build_dependence_graph",
     "dataflow_limit",

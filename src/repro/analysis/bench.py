@@ -1,0 +1,194 @@
+"""Host-performance baseline: measure the sweep harness itself.
+
+``python -m repro bench`` runs a fixed bag of (engine, size, loop)
+simulation points three ways -- serial, parallel with a cold cache, and
+parallel again with a warm cache -- and emits one machine-readable JSON
+document (``BENCH_*.json``) so the repository's performance trajectory
+accrues per commit:
+
+* ``serial`` / ``parallel_cold`` / ``parallel_warm`` -- wall seconds and
+  points per second for each pass;
+* ``speedup_vs_serial`` -- serial wall time over cold-parallel wall
+  time (expect > 1 only on multi-core hosts);
+* ``cache`` -- hit/miss counts and the warm-pass hit rate (1.0 when the
+  cache is sound: every cold-pass point should be served back);
+* ``identical_to_serial`` -- True iff every parallel result matched the
+  serial result (cycles, instructions, stalls) point for point;
+* ``simulated`` -- total simulated instructions/cycles and aggregate
+  simulated-instructions-per-host-second, from the per-engine
+  host-perf telemetry in ``SimResult.extra``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..machine.config import CRAY1_LIKE, MachineConfig
+from ..machine.stats import SimResult
+from ..workloads.base import Workload
+from .parallel import ParallelRunner, SimPoint
+
+#: Default bench grid: two mechanisms the paper sweeps, three sizes.
+DEFAULT_ENGINES = ("rstu", "ruu-bypass")
+DEFAULT_SIZES = (4, 8, 12)
+
+BENCH_SCHEMA = 1
+
+
+def bench_points(
+    workloads: Sequence[Workload],
+    engines: Sequence[str] = DEFAULT_ENGINES,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    base_config: Optional[MachineConfig] = None,
+) -> List[SimPoint]:
+    """The (engine x size x loop) grid the bench sweeps."""
+    config = base_config or CRAY1_LIKE
+    return [
+        SimPoint(engine, workload, config.with_(window_size=size))
+        for engine in engines
+        for size in sizes
+        for workload in workloads
+    ]
+
+
+def _comparable(result: SimResult) -> tuple:
+    """The deterministic face of a result (host timings excluded)."""
+    return (
+        result.engine,
+        result.workload,
+        result.cycles,
+        result.instructions,
+        tuple(sorted(result.stalls.items())),
+        result.branches,
+        result.branches_taken,
+        result.mispredictions,
+        result.squashed,
+    )
+
+
+def _pass_stats(label: str, wall: float, n_points: int) -> Dict[str, object]:
+    return {
+        "label": label,
+        "wall_seconds": wall,
+        "points": n_points,
+        "points_per_sec": (n_points / wall) if wall > 0 else 0.0,
+    }
+
+
+def run_bench(
+    workloads: Sequence[Workload],
+    jobs: int,
+    cache_dir: str,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> Dict[str, object]:
+    """Execute the bench grid and return the JSON-able report."""
+    jobs = jobs if jobs else (os.cpu_count() or 1)
+    points = bench_points(workloads, engines=engines, sizes=sizes)
+
+    serial_runner = ParallelRunner(jobs=1)
+    serial_start = time.perf_counter()
+    serial_results = serial_runner.run_points(points)
+    serial_wall = time.perf_counter() - serial_start
+
+    cold_runner = ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+    cold_start = time.perf_counter()
+    cold_results = cold_runner.run_points(points)
+    cold_wall = time.perf_counter() - cold_start
+
+    warm_runner = ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+    warm_start = time.perf_counter()
+    warm_results = warm_runner.run_points(points)
+    warm_wall = time.perf_counter() - warm_start
+
+    identical = all(
+        _comparable(serial) == _comparable(cold) == _comparable(warm)
+        for serial, cold, warm in zip(
+            serial_results, cold_results, warm_results
+        )
+    )
+
+    total_instructions = sum(r.instructions for r in serial_results)
+    total_cycles = sum(r.cycles for r in serial_results)
+    sim_host_seconds = serial_runner.host_seconds
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "grid": {
+            "engines": list(engines),
+            "sizes": list(sizes),
+            "workloads": [w.name for w in workloads],
+            "n_points": len(points),
+        },
+        "jobs": jobs,
+        "serial": _pass_stats("serial", serial_wall, len(points)),
+        "parallel_cold": _pass_stats("parallel_cold", cold_wall,
+                                     len(points)),
+        "parallel_warm": _pass_stats("parallel_warm", warm_wall,
+                                     len(points)),
+        "speedup_vs_serial": (
+            serial_wall / cold_wall if cold_wall > 0 else 0.0
+        ),
+        "cache": {
+            "cold_hits": cold_runner.hits,
+            "cold_misses": cold_runner.misses,
+            "warm_hits": warm_runner.hits,
+            "warm_misses": warm_runner.misses,
+            "hit_rate": warm_runner.hit_rate,
+        },
+        "identical_to_serial": identical,
+        "simulated": {
+            "instructions": total_instructions,
+            "cycles": total_cycles,
+            "host_seconds": sim_host_seconds,
+            "inst_per_host_sec": (
+                total_instructions / sim_host_seconds
+                if sim_host_seconds > 0 else 0.0
+            ),
+        },
+    }
+
+
+def format_bench(report: Dict[str, object]) -> str:
+    """A short human-readable summary of a bench report."""
+    serial = report["serial"]
+    cold = report["parallel_cold"]
+    warm = report["parallel_warm"]
+    cache = report["cache"]
+    simulated = report["simulated"]
+    lines = [
+        f"bench: {report['grid']['n_points']} points, "
+        f"jobs={report['jobs']}, cpu_count={report['host']['cpu_count']}",
+        f"  serial        : {serial['wall_seconds']:8.3f}s "
+        f"({serial['points_per_sec']:.2f} points/s)",
+        f"  parallel cold : {cold['wall_seconds']:8.3f}s "
+        f"({cold['points_per_sec']:.2f} points/s)",
+        f"  parallel warm : {warm['wall_seconds']:8.3f}s "
+        f"({warm['points_per_sec']:.2f} points/s, "
+        f"hit rate {cache['hit_rate']:.2f})",
+        f"  speedup vs serial: {report['speedup_vs_serial']:.2f}x",
+        f"  identical to serial: {report['identical_to_serial']}",
+        f"  simulated: {simulated['instructions']} instructions / "
+        f"{simulated['cycles']} cycles "
+        f"({simulated['inst_per_host_sec']:.0f} inst/host-s)",
+    ]
+    return "\n".join(lines)
+
+
+def write_bench_json(report: Dict[str, object], path: str) -> None:
+    """Write the report atomically (same discipline as the cache)."""
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)

@@ -7,6 +7,27 @@ content hash of the engine name, the machine configuration, and the
 workload's program + initial memory -- so a cache entry can never serve
 stale results after a workload or config edit.
 
+Correctness guarantees (relied on by the parallel runner, which shares
+one cache directory across worker processes):
+
+* **Key completeness** -- the config part of the key is derived from
+  ``dataclasses.fields(MachineConfig)``, so a field added to the config
+  later automatically perturbs the key; it can never be silently left
+  out and serve stale results.
+* **Atomic writes** -- :meth:`ResultCache.put` writes to a temp file in
+  the cache directory and publishes it with ``os.replace``.  Readers
+  never observe a half-written entry, and concurrent writers of the
+  same key are harmless (the simulations are deterministic, so both
+  write identical bytes).
+* **Corrupt entries are misses** -- an unparseable or
+  schema-incompatible entry (interrupted run, older cache layout) is
+  deleted and the simulation re-run, instead of crashing every later
+  read forever.
+* **Lossless round-trip** -- serialization walks
+  ``dataclasses.fields(SimResult)``, so cached and fresh results carry
+  the same payload (including ``extra``) modulo the explicit
+  :data:`EXCLUDED_EXTRA_KEYS`.
+
 Usage::
 
     cache = ResultCache(".repro-cache")
@@ -17,11 +38,14 @@ Simulations are deterministic, which is what makes caching sound.
 
 from __future__ import annotations
 
-import hashlib
+import dataclasses
+import enum
 import json
+import hashlib
 import os
+import tempfile
 from collections import Counter
-from typing import Callable, Optional
+from typing import Callable, Mapping, Optional
 
 from ..isa.encoding import encode_program
 from ..machine.config import MachineConfig
@@ -29,28 +53,46 @@ from ..machine.memory import Memory
 from ..machine.stats import SimResult
 from ..workloads.base import Workload
 
+#: Bump when the on-disk entry layout changes; older entries then read
+#: as misses rather than mis-parsing.
+SCHEMA_VERSION = 2
+
+#: ``SimResult.extra`` keys deliberately left out of cache entries.
+#: ``interrupt`` holds a live :class:`InterruptRecord` (interrupted runs
+#: are never cached anyway); ``from_cache`` is the cache's own
+#: provenance marker, stamped on the way *out* so that the stored bytes
+#: stay equal to the fresh result's payload.
+EXCLUDED_EXTRA_KEYS = frozenset({"interrupt", "from_cache"})
+
+
+def _fingerprint_value(value):
+    """A stable, JSON-able encoding of one config field value."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, Mapping):
+        return sorted(
+            (_fingerprint_value(k), _fingerprint_value(v))
+            for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple)):
+        return [_fingerprint_value(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_fingerprint_value(v) for v in value)
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
 
 def _config_fingerprint(config: MachineConfig) -> str:
+    """Every ``MachineConfig`` field, derived automatically.
+
+    Walking ``dataclasses.fields`` (instead of a hand-kept list) means a
+    latency knob added next month perturbs cache keys from day one --
+    ``tests/test_cache.py`` asserts this for every field.
+    """
     payload = {
-        "latencies": {
-            fu.value: cycles for fu, cycles in sorted(
-                config.latencies.items(), key=lambda kv: kv[0].value
-            )
-        },
-        "issue_width": config.issue_width,
-        "branch_taken_penalty": config.branch_taken_penalty,
-        "branch_not_taken_penalty": config.branch_not_taken_penalty,
-        "window_size": config.window_size,
-        "n_load_registers": config.n_load_registers,
-        "counter_bits": config.counter_bits,
-        "dispatch_paths": config.dispatch_paths,
-        "commit_paths": config.commit_paths,
-        "n_tags": config.n_tags,
-        "forward_latency": config.forward_latency,
-        "store_execute_latency": config.store_execute_latency,
-        "spec_predict_taken_penalty": config.spec_predict_taken_penalty,
-        "spec_mispredict_penalty": config.spec_mispredict_penalty,
-        "spec_max_branches": config.spec_max_branches,
+        field.name: _fingerprint_value(getattr(config, field.name))
+        for field in dataclasses.fields(MachineConfig)
     }
     return json.dumps(payload, sort_keys=True)
 
@@ -76,39 +118,43 @@ def cache_key(engine_name: str, workload: Workload,
 
 
 def _result_to_json(result: SimResult) -> dict:
-    return {
-        "engine": result.engine,
-        "workload": result.workload,
-        "cycles": result.cycles,
-        "instructions": result.instructions,
-        "stalls": dict(result.stalls),
-        "branches": result.branches,
-        "branches_taken": result.branches_taken,
-        "interrupts": result.interrupts,
-        "mispredictions": result.mispredictions,
-        "squashed": result.squashed,
-    }
+    """Serialize every ``SimResult`` field (minus excluded extras)."""
+    payload: dict = {"schema": SCHEMA_VERSION}
+    for field in dataclasses.fields(SimResult):
+        value = getattr(result, field.name)
+        if field.name == "stalls":
+            value = dict(value)
+        elif field.name == "extra":
+            value = {
+                key: entry for key, entry in value.items()
+                if key not in EXCLUDED_EXTRA_KEYS
+            }
+        payload[field.name] = value
+    return payload
 
 
 def _result_from_json(payload: dict) -> SimResult:
-    result = SimResult(
-        engine=payload["engine"],
-        workload=payload["workload"],
-        cycles=payload["cycles"],
-        instructions=payload["instructions"],
-        stalls=Counter(payload["stalls"]),
-        branches=payload["branches"],
-        branches_taken=payload["branches_taken"],
-        interrupts=payload["interrupts"],
-        mispredictions=payload["mispredictions"],
-        squashed=payload["squashed"],
-    )
-    result.extra["from_cache"] = True
-    return result
+    """Inverse of :func:`_result_to_json`; raises on incompatible data."""
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"cache entry schema {payload.get('schema')!r} != "
+            f"{SCHEMA_VERSION}"
+        )
+    kwargs = {}
+    for field in dataclasses.fields(SimResult):
+        value = payload[field.name]  # KeyError => corrupt => miss
+        if field.name == "stalls":
+            value = Counter(value)
+        kwargs[field.name] = value
+    return SimResult(**kwargs)
 
 
 class ResultCache:
-    """A directory of memoized simulation results."""
+    """A directory of memoized simulation results.
+
+    Safe to share between processes: writes are atomic and unreadable
+    entries degrade to misses.
+    """
 
     def __init__(self, directory: str) -> None:
         self.directory = directory
@@ -121,14 +167,39 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[SimResult]:
         path = self._path(key)
-        if not os.path.exists(path):
+        try:
+            with open(path) as handle:
+                result = _result_from_json(json.load(handle))
+        except FileNotFoundError:
             return None
-        with open(path) as handle:
-            return _result_from_json(json.load(handle))
+        except (json.JSONDecodeError, AttributeError, KeyError, TypeError,
+                ValueError, OSError):
+            # Truncated, corrupt, or stale-schema entry: drop it and let
+            # the caller re-simulate.  Another process may race us to the
+            # delete; that is fine.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        result.extra["from_cache"] = True
+        return result
 
     def put(self, key: str, result: SimResult) -> None:
-        with open(self._path(key), "w") as handle:
-            json.dump(_result_to_json(result), handle)
+        payload = json.dumps(_result_to_json(result))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, self._path(key))
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
 
     def run(
         self,

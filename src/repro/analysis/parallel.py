@@ -1,0 +1,234 @@
+"""Parallel sweep runner: fan simulation points out over processes.
+
+Every table and ablation in the repository reduces to a bag of
+independent ``(engine, config, workload)`` simulations -- Tables 2-6
+are embarrassingly parallel over (engine, size, loop) points.
+:class:`ParallelRunner` executes such a bag on a
+``concurrent.futures.ProcessPoolExecutor`` while keeping three
+guarantees the serial harness provides:
+
+* **Determinism** -- results come back in the order the points were
+  submitted, regardless of which worker finished first, so aggregation
+  (and therefore every table row) is bit-identical to a serial run.
+* **Safe cache sharing** -- workers share one on-disk
+  :class:`~repro.analysis.cache.ResultCache` directory.  The cache
+  writes atomically (temp file + ``os.replace``) and treats corrupt
+  entries as misses, so concurrent runners never serve partial JSON.
+* **Host-perf accounting** -- per-point host wall time comes back in
+  ``SimResult.extra`` and the runner aggregates totals
+  (:attr:`ParallelRunner.host_seconds`, :attr:`points_run`,
+  :attr:`wall_seconds`) for the bench trajectory.
+
+``jobs=1`` (or a single point) runs in-process with no executor, so the
+serial path stays available on one-core hosts and under profilers.
+
+Usage::
+
+    runner = ParallelRunner(jobs=4, cache_dir=".repro-cache")
+    sweep = sweep_sizes_parallel(runner, "rstu", paper_data.RSTU_SIZES)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..machine.config import CRAY1_LIKE, MachineConfig
+from ..machine.stats import SimResult, aggregate, speedup
+from ..workloads.base import Workload
+from ..workloads.livermore import all_loops
+from .cache import ResultCache
+from .sweeps import ENGINE_FACTORIES, Sweep, SweepRow
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One simulation: an engine name, a workload, and a config.
+
+    The engine is named (not passed as a builder) because the factory
+    lambdas in :data:`ENGINE_FACTORIES` do not pickle; workers resolve
+    the name in their own process.
+    """
+
+    engine: str
+    workload: Workload
+    config: MachineConfig
+
+
+def run_point(point: SimPoint,
+              cache: Optional[ResultCache] = None) -> SimResult:
+    """Execute one point (in this process), optionally through a cache."""
+    builder = ENGINE_FACTORIES[point.engine]
+    if cache is not None:
+        return cache.run(builder, point.engine, point.workload, point.config)
+    engine = builder(
+        point.workload.program, point.config, point.workload.make_memory()
+    )
+    return engine.run()
+
+
+def _worker(job: Tuple[SimPoint, Optional[str]]) -> Tuple[SimResult, bool]:
+    """Pool entry point: run one point, report whether it was a cache hit.
+
+    Must stay a module-level function so the pool can pickle it by
+    reference.  Each call opens the cache directory fresh -- cheap, and
+    it keeps hit/miss counters per-point instead of per-process.
+    """
+    point, cache_dir = job
+    if cache_dir is None:
+        return run_point(point), False
+    cache = ResultCache(cache_dir)
+    result = cache.run(
+        ENGINE_FACTORIES[point.engine], point.engine,
+        point.workload, point.config,
+    )
+    return result, cache.hits > 0
+
+
+class ParallelRunner:
+    """Fan (engine, config, workload) points over worker processes.
+
+    Attributes (cumulative across :meth:`run_points` calls):
+        hits / misses: cache outcomes, when ``cache_dir`` is set.
+        points_run: simulation points executed.
+        host_seconds: summed per-point simulator wall time (the work
+            done, across all workers).
+        wall_seconds: elapsed wall time spent inside ``run_points``
+            (the time you waited); ``host_seconds / wall_seconds`` is
+            the achieved parallelism.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache_dir: Optional[str] = None) -> None:
+        self.jobs = jobs if jobs else (os.cpu_count() or 1)
+        self.cache_dir = cache_dir
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.points_run = 0
+        self.host_seconds = 0.0
+        self.wall_seconds = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def run_points(self, points: Iterable[SimPoint],
+                   jobs: Optional[int] = None) -> List[SimResult]:
+        """Run every point; results return in submission order."""
+        points = list(points)
+        jobs = jobs if jobs else self.jobs
+        jobs = max(1, min(jobs, len(points) or 1))
+        started = time.perf_counter()
+        unknown = sorted({p.engine for p in points} - set(ENGINE_FACTORIES))
+        if unknown:
+            raise KeyError(f"unknown engine(s): {', '.join(unknown)}")
+        jobs_args = [(point, self.cache_dir) for point in points]
+        if jobs == 1:
+            outcomes = [_worker(job) for job in jobs_args]
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                # ``map`` preserves submission order -- the determinism
+                # guarantee the tables rely on.
+                outcomes = list(pool.map(_worker, jobs_args))
+        self.wall_seconds += time.perf_counter() - started
+        results: List[SimResult] = []
+        for result, hit in outcomes:
+            if self.cache_dir is not None:
+                if hit:
+                    self.hits += 1
+                else:
+                    self.misses += 1
+            self.points_run += 1
+            self.host_seconds += float(
+                result.extra.get("host_seconds", 0.0)
+            )
+            results.append(result)
+        return results
+
+
+def run_suite_parallel(
+    runner: ParallelRunner,
+    engine_name: str,
+    workloads: Optional[Sequence[Workload]] = None,
+    config: Optional[MachineConfig] = None,
+) -> SimResult:
+    """Parallel twin of :func:`~repro.analysis.sweeps.run_suite`."""
+    workloads = list(workloads) if workloads is not None else all_loops()
+    config = config or CRAY1_LIKE
+    results = runner.run_points(
+        SimPoint(engine_name, workload, config) for workload in workloads
+    )
+    return aggregate(results)
+
+
+def per_loop_parallel(
+    runner: ParallelRunner,
+    engine_name: str,
+    workloads: Optional[Sequence[Workload]] = None,
+    config: Optional[MachineConfig] = None,
+) -> List[SimResult]:
+    """Parallel twin of :func:`~repro.analysis.sweeps.per_loop_baseline`
+    (for any engine)."""
+    workloads = list(workloads) if workloads is not None else all_loops()
+    config = config or CRAY1_LIKE
+    return runner.run_points(
+        SimPoint(engine_name, workload, config) for workload in workloads
+    )
+
+
+def sweep_sizes_parallel(
+    runner: ParallelRunner,
+    engine_name: str,
+    sizes: Iterable[int],
+    workloads: Optional[Sequence[Workload]] = None,
+    base_config: Optional[MachineConfig] = None,
+    baseline: Optional[SimResult] = None,
+    **config_overrides,
+) -> Sweep:
+    """Parallel twin of :func:`~repro.analysis.sweeps.sweep_sizes`.
+
+    The whole (size x workload) grid -- plus the baseline suite when
+    one is not supplied -- goes out as a single flat fan-out, then rows
+    aggregate per size in submission order, so the resulting
+    :class:`Sweep` is identical to the serial one.
+    """
+    sizes = list(sizes)
+    workloads = list(workloads) if workloads is not None else all_loops()
+    config = base_config or CRAY1_LIKE
+    points: List[SimPoint] = []
+    if baseline is None:
+        points.extend(
+            SimPoint("simple", workload, config) for workload in workloads
+        )
+    swept_configs = [
+        config.with_(window_size=size, **config_overrides) for size in sizes
+    ]
+    for swept in swept_configs:
+        points.extend(
+            SimPoint(engine_name, workload, swept) for workload in workloads
+        )
+    results = runner.run_points(points)
+    cursor = 0
+    if baseline is None:
+        baseline = aggregate(results[:len(workloads)])
+        cursor = len(workloads)
+    sweep = Sweep(engine=engine_name, baseline=baseline)
+    for size in sizes:
+        chunk = results[cursor:cursor + len(workloads)]
+        cursor += len(workloads)
+        result = aggregate(chunk)
+        sweep.rows.append(
+            SweepRow(
+                size=size,
+                speedup=speedup(baseline, result),
+                issue_rate=result.issue_rate,
+                cycles=result.cycles,
+            )
+        )
+    return sweep

@@ -75,6 +75,18 @@ ENGINE_FACTORIES: Dict[str, EngineBuilder] = {
 }
 
 
+def engine_name_of(builder: EngineBuilder) -> Optional[str]:
+    """The registry name of ``builder``, if it is a registered factory.
+
+    The parallel runner ships engine *names* (the factory lambdas do not
+    pickle), so the suite helpers translate before delegating.
+    """
+    for name, candidate in ENGINE_FACTORIES.items():
+        if candidate is builder:
+            return name
+    return None
+
+
 def run_workload(
     builder: EngineBuilder,
     workload: Workload,
@@ -91,9 +103,22 @@ def run_suite(
     builder: EngineBuilder,
     workloads: Optional[Sequence[Workload]] = None,
     config: Optional[MachineConfig] = None,
+    runner=None,
 ) -> SimResult:
-    """Run a workload suite and aggregate as the paper does."""
+    """Run a workload suite and aggregate as the paper does.
+
+    With a :class:`~repro.analysis.parallel.ParallelRunner` the loops
+    fan out over worker processes; aggregation order (and therefore the
+    result) is identical to the serial path.  An unregistered builder
+    falls back to serial -- the runner can only ship engine names.
+    """
     workloads = list(workloads) if workloads is not None else all_loops()
+    if runner is not None:
+        name = engine_name_of(builder)
+        if name is not None:
+            from .parallel import run_suite_parallel
+
+            return run_suite_parallel(runner, name, workloads, config)
     return aggregate(
         run_workload(builder, workload, config) for workload in workloads
     )
@@ -130,6 +155,7 @@ def sweep_sizes(
     workloads: Optional[Sequence[Workload]] = None,
     base_config: Optional[MachineConfig] = None,
     baseline: Optional[SimResult] = None,
+    runner=None,
     **config_overrides,
 ) -> Sweep:
     """Measure speedup and issue rate across window sizes.
@@ -137,7 +163,17 @@ def sweep_sizes(
     ``baseline`` defaults to the simple engine on the same suite and
     config (the paper's Table 1 machine).  ``config_overrides`` apply to
     the swept engine only (e.g. ``dispatch_paths=2`` for Table 3).
+    With a :class:`~repro.analysis.parallel.ParallelRunner` the whole
+    (size x workload) grid fans out at once and the rows come back
+    identical to the serial sweep.
     """
+    if runner is not None:
+        from .parallel import sweep_sizes_parallel
+
+        return sweep_sizes_parallel(
+            runner, engine_name, sizes, workloads=workloads,
+            base_config=base_config, baseline=baseline, **config_overrides,
+        )
     workloads = list(workloads) if workloads is not None else all_loops()
     config = base_config or CRAY1_LIKE
     if baseline is None:
@@ -161,8 +197,13 @@ def sweep_sizes(
 def per_loop_baseline(
     workloads: Optional[Sequence[Workload]] = None,
     config: Optional[MachineConfig] = None,
+    runner=None,
 ) -> List[SimResult]:
     """Table 1: the simple engine on each loop individually."""
     workloads = list(workloads) if workloads is not None else all_loops()
+    if runner is not None:
+        from .parallel import per_loop_parallel
+
+        return per_loop_parallel(runner, "simple", workloads, config)
     builder = ENGINE_FACTORIES["simple"]
     return [run_workload(builder, workload, config) for workload in workloads]

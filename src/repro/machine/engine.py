@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import abc
 import heapq
+import time
 from collections import Counter
 from typing import List, Optional, Tuple
 
@@ -94,6 +95,9 @@ class Engine(abc.ABC):
         #: :mod:`repro.machine.fetch`); when None, fetch always hits --
         #: the paper's assumption (§2.2).
         self.fetch_unit = None
+        #: Host wall-clock seconds spent inside ``run()`` so far
+        #: (accumulates across ``continue_run`` resumes).
+        self.host_seconds = 0.0
 
     # ------------------------------------------------------------------
     # main loop
@@ -104,19 +108,23 @@ class Engine(abc.ABC):
         cycle limit trips (which raises -- it indicates a deadlock bug).
         """
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
-        while not self.done():
-            if self.cycle >= limit:
-                raise SimulationError(
-                    f"{self.name}: exceeded {limit} cycles on "
-                    f"{self.program.name!r} (pc={self.pc}, "
-                    f"decode={self.decode_slot})"
-                )
-            self.tick()
-            self.cycle += 1
-            if self.interrupt_record is not None:
-                break
-            if self.cycle % 4096 == 0:
-                self.result_bus.release_past(self.cycle)
+        started = time.perf_counter()
+        try:
+            while not self.done():
+                if self.cycle >= limit:
+                    raise SimulationError(
+                        f"{self.name}: exceeded {limit} cycles on "
+                        f"{self.program.name!r} (pc={self.pc}, "
+                        f"decode={self.decode_slot})"
+                    )
+                self.tick()
+                self.cycle += 1
+                if self.interrupt_record is not None:
+                    break
+                if self.cycle % 4096 == 0:
+                    self.result_bus.release_past(self.cycle)
+        finally:
+            self.host_seconds += time.perf_counter() - started
         return self.result()
 
     def continue_run(self, max_cycles: Optional[int] = None) -> SimResult:
@@ -175,6 +183,20 @@ class Engine(abc.ABC):
             if count
         }
         result.extra["result_bus_conflicts"] = self.result_bus.conflicts
+        # Host-perf telemetry: how fast the *simulator* ran, in wall
+        # seconds and simulated work per host second (0.0 before the
+        # first ``run()``; clocks too coarse to resolve read as 0.0).
+        result.extra["host_seconds"] = self.host_seconds
+        if self.host_seconds > 0.0:
+            result.extra["host_inst_per_sec"] = (
+                self.retired / self.host_seconds
+            )
+            result.extra["host_cycles_per_sec"] = (
+                self.cycle / self.host_seconds
+            )
+        else:
+            result.extra["host_inst_per_sec"] = 0.0
+            result.extra["host_cycles_per_sec"] = 0.0
         if self.interrupt_record is not None:
             result.extra["interrupt"] = self.interrupt_record
         return result

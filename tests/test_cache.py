@@ -1,9 +1,19 @@
 """Tests for the simulation result cache."""
 
+import dataclasses
+import json
+import os
+
 import pytest
 
 from repro.analysis import ENGINE_FACTORIES
-from repro.analysis.cache import ResultCache, cache_key
+from repro.analysis.cache import (
+    ResultCache,
+    _result_from_json,
+    _result_to_json,
+    cache_key,
+)
+from repro.isa.opcodes import FUClass
 from repro.machine import MachineConfig
 from repro.workloads import dependency_chain, fault_probe, lll3
 
@@ -41,6 +51,29 @@ class TestKeying:
         b = dependency_chain(30)
         b.initial_memory.poke(1000, 42.0)
         assert cache_key("rstu", a, CONFIG) != cache_key("rstu", b, CONFIG)
+
+    def test_every_config_field_perturbs_key(self):
+        """The fingerprint is derived from ``dataclasses.fields``, so a
+        field added to MachineConfig later can never be silently left
+        out of the cache key and serve stale results."""
+        workload = dependency_chain(30)
+        base_key = cache_key("rstu", workload, CONFIG)
+        for field in dataclasses.fields(MachineConfig):
+            value = getattr(CONFIG, field.name)
+            if field.name == "latencies":
+                first = next(iter(FUClass))
+                perturbed = CONFIG.with_latency(
+                    first, CONFIG.latency(first) + 1
+                )
+            elif isinstance(value, int):
+                perturbed = CONFIG.with_(**{field.name: value + 1})
+            else:  # pragma: no cover - future non-int fields
+                pytest.fail(
+                    f"add a perturbation rule for new config field "
+                    f"{field.name!r}"
+                )
+            assert cache_key("rstu", workload, perturbed) != base_key, \
+                f"config field {field.name!r} does not perturb the key"
 
 
 class TestCaching:
@@ -80,3 +113,85 @@ class TestCaching:
         assert cache.clear() == 1
         cache.run(ENGINE_FACTORIES["simple"], "simple", workload, CONFIG)
         assert cache.misses == 2
+
+
+class TestAtomicityAndCorruption:
+    def _entry_path(self, cache, workload, engine="rstu"):
+        return cache._path(cache_key(engine, workload, CONFIG))
+
+    def test_put_leaves_no_temp_files(self, cache):
+        workload = dependency_chain(30)
+        cache.run(ENGINE_FACTORIES["rstu"], "rstu", workload, CONFIG)
+        leftovers = [name for name in os.listdir(cache.directory)
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+        assert os.path.exists(self._entry_path(cache, workload))
+
+    @pytest.mark.parametrize("garbage", [
+        "",                      # interrupted before any byte was written
+        "{\"engine\": \"rs",     # truncated mid-write
+        "not json at all",
+        "[1, 2, 3]",             # parseable but the wrong shape
+        json.dumps({"schema": 999, "engine": "rstu"}),  # future schema
+        json.dumps({"schema": 2}),                      # missing fields
+    ])
+    def test_corrupt_entry_is_a_miss(self, cache, garbage):
+        workload = dependency_chain(30)
+        builder = ENGINE_FACTORIES["rstu"]
+        fresh = cache.run(builder, "rstu", workload, CONFIG)
+        path = self._entry_path(cache, workload)
+        with open(path, "w") as handle:
+            handle.write(garbage)
+        result = cache.run(builder, "rstu", workload, CONFIG)
+        assert cache.hits == 0 and cache.misses == 2
+        assert result.cycles == fresh.cycles
+        # the corrupt entry was replaced by a good one: next read hits
+        again = cache.run(builder, "rstu", workload, CONFIG)
+        assert cache.hits == 1
+        assert again.cycles == fresh.cycles
+
+    def test_corrupt_entry_is_deleted_on_get(self, cache):
+        workload = dependency_chain(30)
+        cache.run(ENGINE_FACTORIES["rstu"], "rstu", workload, CONFIG)
+        path = self._entry_path(cache, workload)
+        with open(path, "w") as handle:
+            handle.write("garbage")
+        assert cache.get(cache_key("rstu", workload, CONFIG)) is None
+        assert not os.path.exists(path)
+
+
+class TestRoundTrip:
+    def test_round_trip_is_lossless(self):
+        """Serialize -> JSON text -> deserialize reproduces the result
+        of a real simulation exactly, ``extra`` included."""
+        workload = lll3(n=50)
+        engine = ENGINE_FACTORIES["ruu-bypass"](
+            workload.program, CONFIG, workload.make_memory()
+        )
+        fresh = engine.run()
+        assert fresh.extra, "expected engine telemetry in extra"
+        payload = json.loads(json.dumps(_result_to_json(fresh)))
+        restored = _result_from_json(payload)
+        assert restored == fresh
+
+    def test_round_trip_covers_every_simresult_field(self):
+        """A field added to SimResult later is serialized automatically
+        (and its absence in old entries reads as corrupt -> miss)."""
+        from repro.machine.stats import SimResult
+
+        payload = _result_to_json(
+            SimResult(engine="simple", workload="w", cycles=1,
+                      instructions=1)
+        )
+        for field in dataclasses.fields(SimResult):
+            assert field.name in payload
+
+    def test_cached_result_preserves_extra(self, cache):
+        workload = lll3(n=50)
+        builder = ENGINE_FACTORIES["ruu-bypass"]
+        fresh = cache.run(builder, "ruu-bypass", workload, CONFIG)
+        cached = cache.run(builder, "ruu-bypass", workload, CONFIG)
+        assert cached.extra.pop("from_cache") is True
+        assert cached.extra == fresh.extra
+        assert cached.stalls == fresh.stalls
+        assert cached == fresh

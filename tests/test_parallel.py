@@ -1,0 +1,195 @@
+"""Tests for the parallel sweep runner and the bench harness.
+
+The load-bearing property is *equivalence*: fanning a sweep over worker
+processes must produce exactly the rows the serial harness produces
+(the simulations are deterministic and aggregation order is fixed), so
+the tables and ablations may switch freely between the two paths.
+
+This host may have a single core; nothing here asserts wall-clock
+speedup -- only correctness of the fan-out and of cache sharing.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import (
+    ENGINE_FACTORIES,
+    ParallelRunner,
+    SimPoint,
+    per_loop_baseline,
+    run_bench,
+    run_suite,
+    sweep_sizes,
+)
+from repro.analysis.parallel import run_point
+from repro.machine import MachineConfig
+from repro.workloads import SUITES, all_loops
+
+JOBS = 4
+CONFIG = MachineConfig(window_size=8)
+
+
+@pytest.fixture(scope="module")
+def loops():
+    return all_loops()
+
+
+@pytest.fixture(scope="module")
+def quick_loops():
+    return SUITES["quick"]()
+
+
+class TestEquivalence:
+    def test_sweep_rows_identical_to_serial(self, loops):
+        """jobs=4 reproduces the serial Table 2-style sweep exactly on
+        the Livermore suite."""
+        serial = sweep_sizes("rstu", [4, 8], workloads=loops)
+        runner = ParallelRunner(jobs=JOBS)
+        parallel = sweep_sizes("rstu", [4, 8], workloads=loops,
+                               runner=runner)
+        assert parallel.rows == serial.rows
+        assert parallel.baseline.cycles == serial.baseline.cycles
+        assert parallel.baseline.instructions == \
+            serial.baseline.instructions
+        assert runner.points_run == len(loops) * 3  # baseline + 2 sizes
+
+    def test_run_suite_identical_to_serial(self, quick_loops):
+        builder = ENGINE_FACTORIES["ruu-bypass"]
+        serial = run_suite(builder, quick_loops, CONFIG)
+        parallel = run_suite(builder, quick_loops, CONFIG,
+                             runner=ParallelRunner(jobs=JOBS))
+        assert parallel.cycles == serial.cycles
+        assert parallel.instructions == serial.instructions
+        assert parallel.stalls == serial.stalls
+        assert parallel.workload == serial.workload
+
+    def test_per_loop_baseline_identical_to_serial(self, quick_loops):
+        serial = per_loop_baseline(quick_loops, CONFIG)
+        parallel = per_loop_baseline(quick_loops, CONFIG,
+                                     runner=ParallelRunner(jobs=JOBS))
+        assert [r.cycles for r in parallel] == [r.cycles for r in serial]
+        assert [r.workload for r in parallel] == \
+            [r.workload for r in serial]
+
+    def test_results_return_in_submission_order(self, quick_loops):
+        points = [SimPoint("simple", w, CONFIG) for w in quick_loops]
+        points += [SimPoint("rstu", w, CONFIG) for w in quick_loops]
+        results = ParallelRunner(jobs=JOBS).run_points(points)
+        assert [(r.engine, r.workload) for r in results] == \
+            [(ENGINE_FACTORIES[p.engine](
+                p.workload.program, p.config,
+                p.workload.make_memory()).name, p.workload.name)
+             for p in points]
+
+    def test_unknown_engine_raises(self, quick_loops):
+        with pytest.raises(KeyError):
+            ParallelRunner(jobs=1).run_points(
+                [SimPoint("no-such-engine", quick_loops[0], CONFIG)]
+            )
+
+
+class TestCacheSharing:
+    def test_second_runner_hits_first_runners_entries(self, quick_loops,
+                                                      tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        points = [SimPoint("rstu", w, CONFIG) for w in quick_loops[:6]]
+        first = ParallelRunner(jobs=2, cache_dir=cache_dir)
+        cold = first.run_points(points)
+        assert first.misses == len(points) and first.hits == 0
+        second = ParallelRunner(jobs=2, cache_dir=cache_dir)
+        warm = second.run_points(points)
+        assert second.hits == len(points) and second.misses == 0
+        assert second.hit_rate == 1.0
+        for a, b in zip(cold, warm):
+            assert a.cycles == b.cycles
+            assert a.stalls == b.stalls
+            assert b.extra.get("from_cache")
+
+    def test_two_concurrent_runners_one_cache_dir(self, quick_loops,
+                                                  tmp_path):
+        """Stress: two runners race on the same cache directory.  Atomic
+        writes + corrupt-as-miss mean both must come back with results
+        identical to an uncached serial run."""
+        cache_dir = str(tmp_path / "cache")
+        points = [SimPoint("rstu", w, CONFIG) for w in quick_loops[:6]]
+        reference = [run_point(p) for p in points]
+        outcomes = {}
+
+        def race(tag):
+            runner = ParallelRunner(jobs=2, cache_dir=cache_dir)
+            outcomes[tag] = runner.run_points(points)
+
+        threads = [threading.Thread(target=race, args=(tag,))
+                   for tag in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for tag in ("a", "b"):
+            assert [r.cycles for r in outcomes[tag]] == \
+                [r.cycles for r in reference]
+            assert [r.instructions for r in outcomes[tag]] == \
+                [r.instructions for r in reference]
+
+
+class TestHostPerf:
+    def test_engine_records_host_perf(self, quick_loops):
+        workload = quick_loops[2]
+        engine = ENGINE_FACTORIES["rstu"](
+            workload.program, CONFIG, workload.make_memory()
+        )
+        result = engine.run()
+        assert result.extra["host_seconds"] >= 0.0
+        assert result.extra["host_inst_per_sec"] >= 0.0
+        assert result.extra["host_cycles_per_sec"] >= 0.0
+        if result.extra["host_seconds"] > 0:
+            assert result.extra["host_inst_per_sec"] == pytest.approx(
+                result.instructions / result.extra["host_seconds"]
+            )
+
+    def test_runner_aggregates_timings(self, quick_loops):
+        runner = ParallelRunner(jobs=1)
+        runner.run_points(
+            [SimPoint("simple", w, CONFIG) for w in quick_loops[:3]]
+        )
+        assert runner.points_run == 3
+        assert runner.wall_seconds > 0.0
+        assert 0.0 <= runner.host_seconds <= runner.wall_seconds * 3
+
+
+class TestBench:
+    def test_bench_report_shape(self, quick_loops, tmp_path):
+        report = run_bench(
+            quick_loops[:4], jobs=2, cache_dir=str(tmp_path / "cache"),
+            engines=["rstu"], sizes=[4, 8],
+        )
+        assert report["identical_to_serial"] is True
+        assert report["grid"]["n_points"] == 8
+        assert report["serial"]["wall_seconds"] > 0
+        assert report["serial"]["points_per_sec"] > 0
+        assert report["parallel_cold"]["wall_seconds"] > 0
+        assert report["speedup_vs_serial"] > 0
+        assert report["cache"]["cold_misses"] == 8
+        assert report["cache"]["warm_hits"] == 8
+        assert report["cache"]["hit_rate"] == 1.0
+        assert report["simulated"]["instructions"] > 0
+        assert report["simulated"]["inst_per_host_sec"] >= 0
+
+    def test_bench_cli_writes_json(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        out_path = tmp_path / "BENCH_sweeps.json"
+        code = main([
+            "bench", "--jobs", "2", "--suite", "quick",
+            "--engines", "rstu", "--sizes", "4",
+            "--json", str(out_path),
+        ])
+        assert code == 0
+        assert "identical to serial: True" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload["identical_to_serial"] is True
+        assert payload["cache"]["hit_rate"] == 1.0
+        assert payload["jobs"] == 2
