@@ -12,6 +12,9 @@ Commands:
   parallel, cache hit rate) and emit a ``BENCH_*.json`` perf baseline
 * ``report``          -- generate a Markdown campaign report
 * ``verify``          -- check engines against the golden model
+* ``drill``           -- restart drill: inject a mid-program fault,
+  checkpoint at the trap, restore into a fresh (possibly different)
+  precise engine, resume, and verify against the golden model
 * ``loops``           -- list the bundled workloads with their stats
 """
 
@@ -133,6 +136,8 @@ def _cmd_tables(args: argparse.Namespace) -> int:
             f"{runner.host_seconds:.1f}s simulator time, "
             f"cache {runner.hits} hits / {runner.misses} misses]"
         )
+        if not runner.fleet.clean:
+            print(runner.fleet.describe())
     return 0
 
 
@@ -204,6 +209,36 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         if not report.passed:
             failed += 1
     return 1 if failed else 0
+
+
+def _cmd_drill(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.drill import PRECISE_ENGINES, restart_drill
+    from .workloads import SUITES
+
+    engines = args.engines or list(PRECISE_ENGINES)
+    unknown = [name for name in engines if name not in ENGINE_FACTORIES]
+    if unknown:
+        print(f"unknown engine(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(sorted(ENGINE_FACTORIES))}")
+        return 2
+    workloads = SUITES[args.suite]()
+    config = MachineConfig(window_size=args.window)
+    report = restart_drill(
+        engines=engines,
+        workloads=workloads,
+        config=config,
+        checkpoint_dir=args.checkpoint_dir,
+        cross_engine=not args.no_cross,
+    )
+    print(report.describe())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_json(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report.passed else 1
 
 
 def _cmd_loops(args: argparse.Namespace) -> int:
@@ -305,6 +340,27 @@ def main(argv=None) -> int:
                                    "synthetic"])
     p_verify.add_argument("--window", type=int, default=10)
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_drill = sub.add_parser(
+        "drill",
+        help="restart drill: fault -> checkpoint -> restore -> resume "
+             "-> verify, for every precise engine",
+    )
+    p_drill.add_argument("engines", nargs="*",
+                         help="engines to drill (default: all precise "
+                              "engines)")
+    p_drill.add_argument("--suite", default="livermore",
+                         choices=["quick", "livermore", "paper",
+                                  "synthetic"])
+    p_drill.add_argument("--window", type=int, default=12)
+    p_drill.add_argument("--checkpoint-dir", default=None,
+                         help="keep checkpoint files here (default: a "
+                              "temporary directory, discarded after)")
+    p_drill.add_argument("--no-cross", action="store_true",
+                         help="skip the cross-engine restore leg")
+    p_drill.add_argument("--json", default=None, metavar="FILE",
+                         help="write the machine-readable report here")
+    p_drill.set_defaults(func=_cmd_drill)
 
     p_loops = sub.add_parser("loops", help="list bundled workloads")
     p_loops.set_defaults(func=_cmd_loops)

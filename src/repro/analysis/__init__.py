@@ -3,8 +3,12 @@
 from . import paper_data
 from .bench import bench_points, format_bench, run_bench, write_bench_json
 from .cache import ResultCache, cache_key
+from .drill import DrillPoint, DrillReport, restart_drill
 from .parallel import (
+    FleetError,
+    FleetReport,
     ParallelRunner,
+    PointFailure,
     SimPoint,
     per_loop_parallel,
     run_point,
@@ -53,8 +57,14 @@ from .verify import (
 
 __all__ = [
     "DataflowLimit",
+    "DrillPoint",
+    "DrillReport",
     "ENGINE_FACTORIES",
+    "FleetError",
+    "FleetReport",
     "ParallelRunner",
+    "PointFailure",
+    "restart_drill",
     "ReportSpec",
     "ResultCache",
     "SimPoint",

@@ -30,13 +30,15 @@ from typing import Dict, List, Optional, Sequence
 from ..machine.config import CRAY1_LIKE, MachineConfig
 from ..machine.stats import SimResult
 from ..workloads.base import Workload
-from .parallel import ParallelRunner, SimPoint
+from .parallel import FleetReport, ParallelRunner, SimPoint
 
 #: Default bench grid: two mechanisms the paper sweeps, three sizes.
 DEFAULT_ENGINES = ("rstu", "ruu-bypass")
 DEFAULT_SIZES = (4, 8, 12)
 
-BENCH_SCHEMA = 1
+#: 2: reports carry a ``fleet`` section (submission/retry/timeout/crash
+#: accounting from the self-healing runner).
+BENCH_SCHEMA = 2
 
 
 def bench_points(
@@ -112,6 +114,10 @@ def run_bench(
         )
     )
 
+    fleet = FleetReport()
+    for runner in (serial_runner, cold_runner, warm_runner):
+        fleet.merge(runner.fleet)
+
     total_instructions = sum(r.instructions for r in serial_results)
     total_cycles = sum(r.cycles for r in serial_results)
     sim_host_seconds = serial_runner.host_seconds
@@ -147,6 +153,7 @@ def run_bench(
             "hit_rate": warm_runner.hit_rate,
         },
         "identical_to_serial": identical,
+        "fleet": fleet.to_json(),
         "simulated": {
             "instructions": total_instructions,
             "cycles": total_cycles,
@@ -178,6 +185,10 @@ def format_bench(report: Dict[str, object]) -> str:
         f"hit rate {cache['hit_rate']:.2f})",
         f"  speedup vs serial: {report['speedup_vs_serial']:.2f}x",
         f"  identical to serial: {report['identical_to_serial']}",
+        f"  fleet: {report['fleet']['retries']} retries, "
+        f"{report['fleet']['timeouts']} timeouts, "
+        f"{report['fleet']['crashes']} crashes, "
+        f"{len(report['fleet']['failures'])} failures",
         f"  simulated: {simulated['instructions']} instructions / "
         f"{simulated['cycles']} cycles "
         f"({simulated['inst_per_host_sec']:.0f} inst/host-s)",

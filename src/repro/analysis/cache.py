@@ -23,6 +23,10 @@ one cache directory across worker processes):
   schema-incompatible entry (interrupted run, older cache layout) is
   deleted and the simulation re-run, instead of crashing every later
   read forever.
+* **A broken cache never fails a sweep** -- an uncreatable or unwritable
+  cache directory disables caching (one warning, then silence), and an
+  unreadable entry (permissions, I/O error) degrades to a miss.  The
+  cache is an accelerator; losing it costs time, never results.
 * **Lossless round-trip** -- serialization walks
   ``dataclasses.fields(SimResult)``, so cached and fresh results carry
   the same payload (including ``extra``) modulo the explicit
@@ -44,25 +48,29 @@ import json
 import hashlib
 import os
 import tempfile
+import warnings
 from collections import Counter
 from typing import Callable, Mapping, Optional
 
 from ..isa.encoding import encode_program
 from ..machine.config import MachineConfig
+from ..machine.interrupts import InterruptRecord
 from ..machine.memory import Memory
 from ..machine.stats import SimResult
 from ..workloads.base import Workload
 
 #: Bump when the on-disk entry layout changes; older entries then read
-#: as misses rather than mis-parsing.
-SCHEMA_VERSION = 2
+#: as misses rather than mis-parsing.  3: ``interrupt`` records are
+#: serialized (tagged dict) instead of excluded, and the memory
+#: fingerprint covers injected fault addresses.
+SCHEMA_VERSION = 3
 
 #: ``SimResult.extra`` keys deliberately left out of cache entries.
-#: ``interrupt`` holds a live :class:`InterruptRecord` (interrupted runs
-#: are never cached anyway); ``from_cache`` is the cache's own
-#: provenance marker, stamped on the way *out* so that the stored bytes
-#: stay equal to the fresh result's payload.
-EXCLUDED_EXTRA_KEYS = frozenset({"interrupt", "from_cache"})
+#: ``from_cache`` is the cache's own provenance marker, stamped on the
+#: way *out* so that the stored bytes stay equal to the fresh result's
+#: payload.  (``interrupt`` round-trips losslessly since schema 3 --
+#: see :meth:`InterruptRecord.to_json`.)
+EXCLUDED_EXTRA_KEYS = frozenset({"from_cache"})
 
 
 def _fingerprint_value(value):
@@ -99,10 +107,14 @@ def _config_fingerprint(config: MachineConfig) -> str:
 
 def _memory_fingerprint(memory: Memory) -> str:
     return json.dumps(
-        sorted(
-            (address, repr(value))
-            for address, value in memory.nonzero().items()
-        )
+        {
+            "words": sorted(
+                (address, repr(value))
+                for address, value in memory.nonzero().items()
+            ),
+            "faulting": sorted(memory.faulting_addresses),
+        },
+        sort_keys=True,
     )
 
 
@@ -117,6 +129,31 @@ def cache_key(engine_name: str, workload: Workload,
     return digest.hexdigest()
 
 
+def _extra_to_json(extra: dict) -> dict:
+    """Serialize ``SimResult.extra``; interrupt records become tagged
+    dicts so the round-trip is lossless."""
+    payload = {}
+    for key, entry in extra.items():
+        if key in EXCLUDED_EXTRA_KEYS:
+            continue
+        if isinstance(entry, InterruptRecord):
+            payload[key] = {"__interrupt__": entry.to_json()}
+        else:
+            payload[key] = entry
+    return payload
+
+
+def _extra_from_json(payload: dict) -> dict:
+    """Inverse of :func:`_extra_to_json`."""
+    extra = {}
+    for key, entry in payload.items():
+        if isinstance(entry, dict) and set(entry) == {"__interrupt__"}:
+            extra[key] = InterruptRecord.from_json(entry["__interrupt__"])
+        else:
+            extra[key] = entry
+    return extra
+
+
 def _result_to_json(result: SimResult) -> dict:
     """Serialize every ``SimResult`` field (minus excluded extras)."""
     payload: dict = {"schema": SCHEMA_VERSION}
@@ -125,10 +162,7 @@ def _result_to_json(result: SimResult) -> dict:
         if field.name == "stalls":
             value = dict(value)
         elif field.name == "extra":
-            value = {
-                key: entry for key, entry in value.items()
-                if key not in EXCLUDED_EXTRA_KEYS
-            }
+            value = _extra_to_json(value)
         payload[field.name] = value
     return payload
 
@@ -145,6 +179,8 @@ def _result_from_json(payload: dict) -> SimResult:
         value = payload[field.name]  # KeyError => corrupt => miss
         if field.name == "stalls":
             value = Counter(value)
+        elif field.name == "extra":
+            value = _extra_from_json(value)
         kwargs[field.name] = value
     return SimResult(**kwargs)
 
@@ -158,14 +194,39 @@ class ResultCache:
 
     def __init__(self, directory: str) -> None:
         self.directory = directory
-        os.makedirs(directory, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Set when the cache directory itself is unusable; every
+        #: operation is then a cheap no-op and the sweep runs uncached.
+        self.disabled = False
+        self._warned = False
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            self._degrade(f"cannot create cache directory: {exc}")
+
+    def _warn_once(self, message: str) -> None:
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"result cache {self.directory!r}: {message}; "
+                f"continuing without it (simulations re-run, results "
+                f"unaffected)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    def _degrade(self, message: str) -> None:
+        """Disable the cache for this process; the sweep continues."""
+        self.disabled = True
+        self._warn_once(message)
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
     def get(self, key: str) -> Optional[SimResult]:
+        if self.disabled:
+            return None
         path = self._path(key)
         try:
             with open(path) as handle:
@@ -173,7 +234,7 @@ class ResultCache:
         except FileNotFoundError:
             return None
         except (json.JSONDecodeError, AttributeError, KeyError, TypeError,
-                ValueError, OSError):
+                ValueError):
             # Truncated, corrupt, or stale-schema entry: drop it and let
             # the caller re-simulate.  Another process may race us to the
             # delete; that is fine.
@@ -182,18 +243,35 @@ class ResultCache:
             except OSError:
                 pass
             return None
+        except OSError as exc:
+            # Unreadable entry (permissions, I/O error, entry is a
+            # directory, ...): a miss, not a failure.
+            self._warn_once(f"cannot read entry: {exc}")
+            return None
         result.extra["from_cache"] = True
         return result
 
     def put(self, key: str, result: SimResult) -> None:
+        if self.disabled:
+            return
         payload = json.dumps(_result_to_json(result))
-        fd, tmp_path = tempfile.mkstemp(
-            dir=self.directory, prefix=f".{key}.", suffix=".tmp"
-        )
+        try:
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{key}.", suffix=".tmp"
+            )
+        except OSError as exc:
+            self._degrade(f"cannot write entries: {exc}")
+            return
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(payload)
             os.replace(tmp_path, self._path(key))
+        except OSError as exc:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            self._warn_once(f"cannot publish entry: {exc}")
         except BaseException:
             try:
                 os.remove(tmp_path)
@@ -217,17 +295,25 @@ class ResultCache:
         self.misses += 1
         engine = builder(workload.program, config, workload.make_memory())
         result = engine.run()
-        # never cache interrupted runs: the caller's fault-injection
-        # state is not part of the key
-        if result.interrupts == 0:
-            self.put(key, result)
+        # Interrupted runs cache too: injected fault addresses are part
+        # of the memory fingerprint (schema 3) and the interrupt record
+        # round-trips losslessly.
+        self.put(key, result)
         return result
 
     def clear(self) -> int:
         """Delete all entries; returns how many were removed."""
         removed = 0
-        for name in os.listdir(self.directory):
+        try:
+            names = os.listdir(self.directory)
+        except OSError as exc:
+            self._degrade(f"cannot list entries: {exc}")
+            return 0
+        for name in names:
             if name.endswith(".json"):
-                os.remove(os.path.join(self.directory, name))
-                removed += 1
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError as exc:
+                    self._warn_once(f"cannot delete entry: {exc}")
         return removed

@@ -1,0 +1,290 @@
+"""Restart drill: prove checkpoint/restore works across the fleet.
+
+The paper's claim is that a precise-interrupt machine can be stopped at
+a fault and restarted without losing work.  The drill operationalises
+that claim end-to-end for every precise engine and every workload:
+
+1. run the engine with a page fault injected on an address the program
+   first touches near the *middle* of its dynamic execution;
+2. at the trap, capture a :class:`~repro.machine.checkpoint.Checkpoint`
+   and write it to disk;
+3. tear the engine down, reload the checkpoint from the file (so the
+   restored machine shares no live state with the original), and
+   restore into a **fresh** engine -- the same type, and additionally a
+   *different* precise type (cross-engine restore, e.g. RUU -> history
+   buffer), which is only sound because the checkpoint is purely
+   architectural;
+4. differentially verify the restored state against the golden ISS
+   prefix at the trap point, then service the fault, resume, and verify
+   the final registers/memory/retired-count against the golden ISS run.
+
+``python -m repro drill`` runs the whole matrix and reports per-point
+outcomes; any divergence is a correctness bug in checkpointing, in the
+engine's precise-interrupt machinery, or in both.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..machine.checkpoint import Checkpoint, CheckpointError
+from ..machine.config import CRAY1_LIKE, MachineConfig
+from ..trace.iss import prefix_state, reference_state
+from ..workloads.base import Workload
+from ..workloads.livermore import all_loops
+from .sweeps import ENGINE_FACTORIES
+
+#: Engines that claim precise interrupts, in drill order.  The
+#: cross-engine restore target for each point is the next entry
+#: (cyclically), so every pair of neighbours is exercised.
+PRECISE_ENGINES = (
+    "ruu-bypass",
+    "ruu-nobypass",
+    "ruu-limited",
+    "spec-ruu",
+    "reorder-buffer",
+    "rob-bypass",
+    "history-buffer",
+    "future-file",
+)
+
+
+@dataclass
+class DrillPoint:
+    """One engine x workload restart exercise."""
+
+    engine: str
+    workload: str
+    restored_into: str
+    fault_address: Optional[int] = None
+    trap_seq: Optional[int] = None
+    trap_cycle: Optional[int] = None
+    passed: bool = False
+    detail: str = ""
+
+    def describe(self) -> str:
+        verdict = "ok" if self.passed else "FAIL"
+        route = (
+            self.engine if self.restored_into == self.engine
+            else f"{self.engine} -> {self.restored_into}"
+        )
+        where = (
+            f" trap #{self.trap_seq}@{self.trap_cycle}"
+            if self.trap_seq is not None else ""
+        )
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"  [{verdict}] {route:>32s} on {self.workload}{where}{suffix}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "workload": self.workload,
+            "restored_into": self.restored_into,
+            "fault_address": self.fault_address,
+            "trap_seq": self.trap_seq,
+            "trap_cycle": self.trap_cycle,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class DrillReport:
+    """Outcome of a restart drill over an engine x workload matrix."""
+
+    points: List[DrillPoint] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(point.passed for point in self.points)
+
+    @property
+    def failures(self) -> List[DrillPoint]:
+        return [point for point in self.points if not point.passed]
+
+    def describe(self) -> str:
+        cross = sum(
+            1 for p in self.points if p.restored_into != p.engine
+        )
+        lines = [
+            f"restart drill: {len(self.points)} point(s), "
+            f"{cross} cross-engine restore(s), "
+            f"{len(self.failures)} failure(s)"
+        ]
+        lines += [point.describe() for point in self.points
+                  if not point.passed]
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "points": [point.to_json() for point in self.points],
+        }
+
+
+def midpoint_fault_address(workload: Workload) -> Optional[int]:
+    """An address whose *first* access lands mid-way through execution.
+
+    Injecting the fault there guarantees the trap arrives with real
+    completed work behind it and real work still to do -- the
+    interesting checkpoint case.  Returns None for programs that never
+    touch memory.
+    """
+    golden = reference_state(workload.program, workload.initial_memory)
+    first_access: Dict[int, int] = {}
+    for entry in golden.trace:
+        if entry.address is not None and entry.address not in first_access:
+            first_access[entry.address] = entry.seq
+    if not first_access:
+        return None
+    middle = golden.executed // 2
+    return min(
+        first_access,
+        key=lambda address: (abs(first_access[address] - middle), address),
+    )
+
+
+def _drill_one(
+    engine_name: str,
+    target_name: str,
+    workload: Workload,
+    config: MachineConfig,
+    checkpoint_dir: str,
+) -> DrillPoint:
+    """Run one fault -> checkpoint -> restore -> resume -> verify pass."""
+    point = DrillPoint(
+        engine=engine_name, workload=workload.name,
+        restored_into=target_name,
+    )
+    address = midpoint_fault_address(workload)
+    if address is None:
+        point.passed = True
+        point.detail = "skipped: program never touches memory"
+        return point
+    point.fault_address = address
+
+    golden = reference_state(workload.program, workload.initial_memory)
+    memory = workload.make_memory()
+    memory.inject_fault(address)
+    engine = ENGINE_FACTORIES[engine_name](workload.program, config, memory)
+    engine.run()
+    record = engine.interrupt_record
+    if record is None:
+        point.detail = "engine never trapped on the injected fault"
+        return point
+    if not record.claims_precise:
+        point.detail = f"trap was imprecise: {record.describe()}"
+        return point
+    point.trap_seq = record.seq
+    point.trap_cycle = record.cycle
+
+    # Checkpoint to disk, then drop every live reference to the original
+    # machine: the restore below must stand on the file alone.
+    path = os.path.join(
+        checkpoint_dir,
+        f"{engine_name}-{workload.name}-{target_name}.ckpt.json",
+    )
+    try:
+        Checkpoint.capture(engine).save(path)
+        del engine, memory
+        restored = Checkpoint.load(path).restore(engine=target_name)
+    except CheckpointError as exc:
+        point.detail = f"checkpoint failed: {exc}"
+        return point
+
+    # Differential check 1: the restored state must equal the golden
+    # prefix at the trap (the paper's precision criterion, transported
+    # through serialization).
+    prefix = prefix_state(
+        workload.program, record.seq, workload.initial_memory
+    )
+    if restored.regs != prefix.regs:
+        point.detail = (
+            f"restored registers diverge from the golden prefix: "
+            f"{restored.regs.diff(prefix.regs)}"
+        )
+        return point
+    if restored.memory != prefix.memory:
+        point.detail = (
+            f"restored memory diverges from the golden prefix: "
+            f"{restored.memory.diff(prefix.memory)}"
+        )
+        return point
+
+    # Differential check 2: service the fault, resume, and the final
+    # state must be indistinguishable from a never-interrupted run.
+    restored.memory.service_fault(address)
+    restored.continue_run()
+    if restored.interrupt_record is not None:
+        point.detail = (
+            f"resume trapped again: "
+            f"{restored.interrupt_record.describe()}"
+        )
+        return point
+    if restored.regs != golden.regs:
+        point.detail = (
+            f"final registers diverge: {restored.regs.diff(golden.regs)}"
+        )
+        return point
+    if restored.memory != golden.memory:
+        point.detail = (
+            f"final memory diverges: {restored.memory.diff(golden.memory)}"
+        )
+        return point
+    if restored.retired != golden.executed:
+        point.detail = (
+            f"retired {restored.retired} != golden {golden.executed}"
+        )
+        return point
+    point.passed = True
+    return point
+
+
+def restart_drill(
+    engines: Optional[Sequence[str]] = None,
+    workloads: Optional[Sequence[Workload]] = None,
+    config: Optional[MachineConfig] = None,
+    checkpoint_dir: Optional[str] = None,
+    cross_engine: bool = True,
+) -> DrillReport:
+    """Exercise checkpoint/restore for every engine x workload pair.
+
+    Each pair is drilled twice when ``cross_engine`` is set: restored
+    into the same engine type, and into the next precise engine in
+    :data:`PRECISE_ENGINES` (cyclically), so the architectural-state
+    contract is verified *between* machine types, not just within one.
+    """
+    engines = list(engines) if engines is not None else list(PRECISE_ENGINES)
+    workloads = list(workloads) if workloads is not None else all_loops()
+    config = config or CRAY1_LIKE
+    report = DrillReport()
+
+    def run_matrix(directory: str) -> None:
+        for engine_name in engines:
+            targets = [engine_name]
+            if cross_engine:
+                ring = list(PRECISE_ENGINES)
+                anchor = (
+                    ring.index(engine_name) if engine_name in ring else -1
+                )
+                partner = ring[(anchor + 1) % len(ring)]
+                if partner != engine_name:
+                    targets.append(partner)
+            for workload in workloads:
+                for target in targets:
+                    report.points.append(
+                        _drill_one(
+                            engine_name, target, workload, config, directory
+                        )
+                    )
+
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        run_matrix(checkpoint_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-drill-") as scratch:
+            run_matrix(scratch)
+    return report

@@ -1,15 +1,18 @@
-"""Parallel sweep runner: fan simulation points out over processes.
+"""Self-healing parallel sweep runner: fan points out over processes.
 
 Every table and ablation in the repository reduces to a bag of
 independent ``(engine, config, workload)`` simulations -- Tables 2-6
 are embarrassingly parallel over (engine, size, loop) points.
 :class:`ParallelRunner` executes such a bag on a
-``concurrent.futures.ProcessPoolExecutor`` while keeping three
+``concurrent.futures.ProcessPoolExecutor`` while keeping the
 guarantees the serial harness provides:
 
 * **Determinism** -- results come back in the order the points were
   submitted, regardless of which worker finished first, so aggregation
   (and therefore every table row) is bit-identical to a serial run.
+  Retries and fallback do not perturb this: the simulations are
+  deterministic, so a point's result is the same however many attempts
+  it took.
 * **Safe cache sharing** -- workers share one on-disk
   :class:`~repro.analysis.cache.ResultCache` directory.  The cache
   writes atomically (temp file + ``os.replace``) and treats corrupt
@@ -18,13 +21,28 @@ guarantees the serial harness provides:
   ``SimResult.extra`` and the runner aggregates totals
   (:attr:`ParallelRunner.host_seconds`, :attr:`points_run`,
   :attr:`wall_seconds`) for the bench trajectory.
+* **Fault tolerance** -- a sweep *always completes or says exactly
+  which points failed and why*.  Python-level failures inside a point
+  come back as values (the pool survives).  A worker process that dies
+  (OOM kill, segfault, ``os._exit``) breaks the pool: the runner kills
+  the stragglers, rebuilds the pool, and resubmits the unfinished
+  points with exponential backoff, up to :attr:`max_retries` rounds.  A
+  point whose result does not arrive within :attr:`timeout` seconds is
+  treated the same way (the stuck worker is killed with the pool).
+  Points still unfinished after the last round run serially in this
+  process (``serial_fallback``); only if *that* fails too does
+  :meth:`run_points` raise :class:`FleetError`, whose
+  :class:`FleetReport` names every failed point and cause.  Every
+  attempt, retry, timeout and degraded point is recorded in
+  :attr:`ParallelRunner.fleet`.
 
 ``jobs=1`` (or a single point) runs in-process with no executor, so the
 serial path stays available on one-core hosts and under profilers.
 
 Usage::
 
-    runner = ParallelRunner(jobs=4, cache_dir=".repro-cache")
+    runner = ParallelRunner(jobs=4, cache_dir=".repro-cache",
+                            timeout=120.0)
     sweep = sweep_sizes_parallel(runner, "rstu", paper_data.RSTU_SIZES)
 """
 
@@ -33,8 +51,10 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..machine.config import CRAY1_LIKE, MachineConfig
 from ..machine.stats import SimResult, aggregate, speedup
@@ -88,6 +108,153 @@ def _worker(job: Tuple[SimPoint, Optional[str]]) -> Tuple[SimResult, bool]:
     return result, cache.hits > 0
 
 
+def _guarded_worker(job: Tuple[SimPoint, Optional[str]]) -> Tuple:
+    """Run one point, returning failures as values.
+
+    A Python exception inside a simulation (a real engine bug, a
+    :class:`~repro.machine.faults.DeadlockError`, ...) comes back as
+    ``("error", message)`` instead of poisoning the pool; only a hard
+    process death (segfault, OOM kill) breaks the executor.
+    """
+    try:
+        result, hit = _worker(job)
+        return ("ok", result, hit)
+    except Exception as exc:  # noqa: BLE001 - converted to a report entry
+        return ("error", f"{type(exc).__name__}: {exc}")
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcefully tear down an executor with stuck or dead workers.
+
+    ``shutdown`` alone would block on a hung worker; kill the worker
+    processes first, then reap without waiting.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except OSError:  # already gone
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+@dataclass
+class PointFailure:
+    """One simulation point that could not produce a result."""
+
+    index: int
+    engine: str
+    workload: str
+    attempts: int
+    error: str
+
+    def describe(self) -> str:
+        return (
+            f"point {self.index} ({self.engine} on {self.workload}): "
+            f"{self.error} after {self.attempts} attempt(s)"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "engine": self.engine,
+            "workload": self.workload,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+@dataclass
+class FleetReport:
+    """What it took to complete (or fail) a fan-out.
+
+    A clean run has ``submissions == points`` and every other counter
+    zero.  Anything else is the self-healing machinery earning its keep.
+    """
+
+    jobs: int = 0
+    points: int = 0
+    submissions: int = 0   # point-submissions, including retries
+    retries: int = 0       # resubmissions after a failed round
+    timeouts: int = 0      # per-point result deadlines that expired
+    crashes: int = 0       # pool-breaking worker deaths observed
+    pools: int = 0         # executors built (>1 means rebuilds happened)
+    degraded: List[Dict[str, Any]] = field(default_factory=list)
+    failures: List[PointFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def clean(self) -> bool:
+        """True when no retry/timeout/crash/fallback machinery engaged."""
+        return (
+            self.ok and not self.retries and not self.timeouts
+            and not self.crashes and not self.degraded
+        )
+
+    def merge(self, other: "FleetReport") -> None:
+        """Accumulate ``other`` (one ``run_points`` call) into this."""
+        self.jobs = max(self.jobs, other.jobs)
+        self.points += other.points
+        self.submissions += other.submissions
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.crashes += other.crashes
+        self.pools += other.pools
+        self.degraded.extend(other.degraded)
+        self.failures.extend(other.failures)
+
+    def describe(self) -> str:
+        lines = [
+            f"fleet: {self.points} point(s) over {self.jobs} job(s): "
+            f"{self.submissions} submission(s), {self.retries} "
+            f"retry/retries, {self.timeouts} timeout(s), "
+            f"{self.crashes} worker crash(es), "
+            f"{len(self.degraded)} point(s) completed by serial "
+            f"fallback, {len(self.failures)} failure(s)"
+        ]
+        lines += [f"  degraded: {entry['engine']} on {entry['workload']}"
+                  for entry in self.degraded]
+        lines += [f"  FAILED: {failure.describe()}"
+                  for failure in self.failures]
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "points": self.points,
+            "submissions": self.submissions,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "pools": self.pools,
+            "degraded": list(self.degraded),
+            "failures": [failure.to_json() for failure in self.failures],
+            "ok": self.ok,
+            "clean": self.clean,
+        }
+
+
+class FleetError(RuntimeError):
+    """Some points failed even after retries and serial fallback.
+
+    Carries the :class:`FleetReport`, which names every failed point
+    and its last error -- the "or reports exactly which points failed
+    and why" half of the runner's contract.
+    """
+
+    def __init__(self, report: FleetReport) -> None:
+        super().__init__(
+            f"{len(report.failures)} of {report.points} point(s) failed "
+            f"permanently:\n" + "\n".join(
+                f"  {failure.describe()}" for failure in report.failures
+            )
+        )
+        self.report = report
+
+
 class ParallelRunner:
     """Fan (engine, config, workload) points over worker processes.
 
@@ -99,19 +266,49 @@ class ParallelRunner:
         wall_seconds: elapsed wall time spent inside ``run_points``
             (the time you waited); ``host_seconds / wall_seconds`` is
             the achieved parallelism.
+        fleet: cumulative :class:`FleetReport` (attempts, retries,
+            timeouts, crashes, degraded points); ``last_fleet`` is the
+            report of the most recent :meth:`run_points` call alone.
+
+    Self-healing knobs:
+        timeout: per-point result deadline in seconds (None: wait
+            forever).  Measured from when the runner starts waiting on
+            that point's future, so it only trips for genuinely stuck
+            work, not for points queued behind a busy pool.
+        max_retries: pool-rebuild rounds after the first (a crashed or
+            timed-out round kills the pool, backs off, resubmits).
+        backoff: base seconds slept before retry round ``k``
+            (``backoff * 2**(k-1)``).
+        serial_fallback: run still-unfinished points in this process
+            after the last round instead of failing them.
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None,
+                 timeout: Optional[float] = None,
+                 max_retries: int = 2,
+                 backoff: float = 0.25,
+                 serial_fallback: bool = True) -> None:
         self.jobs = jobs if jobs else (os.cpu_count() or 1)
         self.cache_dir = cache_dir
         if cache_dir is not None:
-            os.makedirs(cache_dir, exist_ok=True)
+            # A failing makedirs must not kill the sweep: ResultCache
+            # rechecks per process and degrades to uncached runs.
+            try:
+                os.makedirs(cache_dir, exist_ok=True)
+            except OSError:
+                pass
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.serial_fallback = serial_fallback
         self.hits = 0
         self.misses = 0
         self.points_run = 0
         self.host_seconds = 0.0
         self.wall_seconds = 0.0
+        self.fleet = FleetReport()
+        self.last_fleet = FleetReport()
 
     @property
     def hit_rate(self) -> float:
@@ -120,27 +317,62 @@ class ParallelRunner:
 
     def run_points(self, points: Iterable[SimPoint],
                    jobs: Optional[int] = None) -> List[SimResult]:
-        """Run every point; results return in submission order."""
+        """Run every point; results return in submission order.
+
+        Raises :class:`FleetError` -- after retries and (if enabled)
+        serial fallback -- when some points cannot produce a result;
+        the error's report says which and why.
+        """
         points = list(points)
         jobs = jobs if jobs else self.jobs
         jobs = max(1, min(jobs, len(points) or 1))
-        started = time.perf_counter()
         unknown = sorted({p.engine for p in points} - set(ENGINE_FACTORIES))
         if unknown:
             raise KeyError(f"unknown engine(s): {', '.join(unknown)}")
+        fleet = FleetReport(jobs=jobs, points=len(points))
         jobs_args = [(point, self.cache_dir) for point in points]
-        if jobs == 1:
-            outcomes = [_worker(job) for job in jobs_args]
-        else:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                # ``map`` preserves submission order -- the determinism
-                # guarantee the tables rely on.
-                outcomes = list(pool.map(_worker, jobs_args))
-        self.wall_seconds += time.perf_counter() - started
-        results: List[SimResult] = []
-        for result, hit in outcomes:
+        results: List[Optional[SimResult]] = [None] * len(points)
+        hit_flags: List[bool] = [False] * len(points)
+        errors: List[Optional[str]] = [None] * len(points)
+        attempts: List[int] = [0] * len(points)
+
+        started = time.perf_counter()
+        try:
+            if jobs == 1:
+                for index, job in enumerate(jobs_args):
+                    fleet.submissions += 1
+                    attempts[index] += 1
+                    self._record(
+                        index, _guarded_worker(job),
+                        results, hit_flags, errors,
+                    )
+            else:
+                self._run_rounds(
+                    jobs_args, jobs, fleet,
+                    results, hit_flags, errors, attempts,
+                )
+        finally:
+            self.wall_seconds += time.perf_counter() - started
+            for failure_index in [i for i, r in enumerate(results)
+                                  if r is None and errors[i] is not None]:
+                point = points[failure_index]
+                fleet.failures.append(
+                    PointFailure(
+                        index=failure_index,
+                        engine=point.engine,
+                        workload=point.workload.name,
+                        attempts=attempts[failure_index],
+                        error=errors[failure_index] or "unknown",
+                    )
+                )
+            self.last_fleet = fleet
+            self.fleet.merge(fleet)
+
+        for index, result in enumerate(results):
+            if result is None:
+                continue
             if self.cache_dir is not None:
-                if hit:
+                if hit_flags[index]:
                     self.hits += 1
                 else:
                     self.misses += 1
@@ -148,8 +380,133 @@ class ParallelRunner:
             self.host_seconds += float(
                 result.extra.get("host_seconds", 0.0)
             )
-            results.append(result)
-        return results
+        if fleet.failures:
+            raise FleetError(fleet)
+        return results  # type: ignore[return-value]  (no Nones left)
+
+    # ------------------------------------------------------------------
+    # self-healing internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _record(index: int, outcome: Tuple,
+                results: List[Optional[SimResult]],
+                hit_flags: List[bool],
+                errors: List[Optional[str]]) -> None:
+        if outcome[0] == "ok":
+            results[index] = outcome[1]
+            hit_flags[index] = outcome[2]
+            errors[index] = None
+        else:
+            errors[index] = outcome[1]
+
+    def _run_rounds(self, jobs_args: List[Tuple], jobs: int,
+                    fleet: FleetReport,
+                    results: List[Optional[SimResult]],
+                    hit_flags: List[bool],
+                    errors: List[Optional[str]],
+                    attempts: List[int]) -> None:
+        remaining = list(range(len(jobs_args)))
+        for round_number in range(self.max_retries + 1):
+            if not remaining:
+                return
+            if round_number:
+                fleet.retries += len(remaining)
+                time.sleep(self.backoff * (2 ** (round_number - 1)))
+            remaining = self._one_round(
+                jobs_args, remaining, jobs, fleet,
+                results, hit_flags, errors, attempts,
+            )
+        if remaining and self.serial_fallback:
+            for index in remaining:
+                fleet.submissions += 1
+                attempts[index] += 1
+                self._record(
+                    index, _guarded_worker(jobs_args[index]),
+                    results, hit_flags, errors,
+                )
+                if results[index] is not None:
+                    point = jobs_args[index][0]
+                    fleet.degraded.append({
+                        "index": index,
+                        "engine": point.engine,
+                        "workload": point.workload.name,
+                        "attempts": attempts[index],
+                    })
+
+    def _one_round(self, jobs_args: List[Tuple], remaining: List[int],
+                   jobs: int, fleet: FleetReport,
+                   results: List[Optional[SimResult]],
+                   hit_flags: List[bool],
+                   errors: List[Optional[str]],
+                   attempts: List[int]) -> List[int]:
+        """Submit ``remaining`` to a fresh pool; return what's left.
+
+        Ends early (killing the pool) on the first timeout or worker
+        crash; results that finished before the incident are harvested
+        so their work is not repeated.
+        """
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(remaining))
+        )
+        fleet.pools += 1
+        futures = {}
+        for index in remaining:
+            futures[index] = pool.submit(_guarded_worker, jobs_args[index])
+            fleet.submissions += 1
+            attempts[index] += 1
+        broken = False
+        try:
+            for index in remaining:
+                if broken:
+                    break
+                try:
+                    outcome = futures[index].result(timeout=self.timeout)
+                except FuturesTimeout:
+                    fleet.timeouts += 1
+                    errors[index] = (
+                        f"timeout: no result within {self.timeout}s "
+                        f"(worker killed)"
+                    )
+                    broken = True
+                except BrokenProcessPool:
+                    fleet.crashes += 1
+                    errors[index] = errors[index] or (
+                        "worker process died (pool broken)"
+                    )
+                    broken = True
+                except Exception as exc:  # pragma: no cover - defensive
+                    errors[index] = f"{type(exc).__name__}: {exc}"
+                    broken = True
+                else:
+                    self._record(index, outcome,
+                                 results, hit_flags, errors)
+        finally:
+            if broken:
+                self._harvest(futures, results, hit_flags, errors)
+                _kill_pool(pool)
+            else:
+                pool.shutdown()
+        leftovers = [index for index in remaining
+                     if results[index] is None]
+        for index in leftovers:
+            if errors[index] is None:
+                errors[index] = "worker process died (pool broken)"
+        return leftovers
+
+    def _harvest(self, futures: Dict[int, Any],
+                 results: List[Optional[SimResult]],
+                 hit_flags: List[bool],
+                 errors: List[Optional[str]]) -> None:
+        """Collect results that completed before the pool broke."""
+        for index, future in futures.items():
+            if results[index] is not None or not future.done():
+                continue
+            try:
+                outcome = future.result(timeout=0)
+            except Exception:  # broken/cancelled future
+                continue
+            self._record(index, outcome, results, hit_flags, errors)
 
 
 def run_suite_parallel(

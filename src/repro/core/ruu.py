@@ -374,6 +374,10 @@ class RUUEngine(Engine):
         self._squash_all()
         self.pc = entry.inst.pc
         self.decode_slot = None
+        # The squashed instructions (the faulting one included) will be
+        # refetched; recycle their sequence numbers so ``seq`` remains
+        # the dynamic program-order index across resumes.
+        self.next_seq = entry.seq
         self.fetch_done = False
         self.fetch_resume_cycle = self.cycle + 1
 

@@ -241,6 +241,11 @@ class SpeculativeRUUEngine(RUUEngine):
         self.decode_slot = None
         self.fetch_done = False
         self._clear_decode_watch()
+        # Wrong-path instructions consumed sequence numbers; give them
+        # back so ``seq`` stays the dynamic program-order index.  The
+        # interrupt machinery (and the checkpoint drill) rely on
+        # ``record.seq`` meaning "first seq instructions completed".
+        self.next_seq = boundary_seq
         self.pc = correct_pc
         self.fetch_resume_cycle = (
             self.cycle + 1 + self.config.spec_mispredict_penalty

@@ -236,6 +236,9 @@ class InOrderPreciseEngine(Engine):
         self._busy.clear()
         self.pc = entry.inst.pc
         self.decode_slot = None
+        # Recycle the squashed sequence numbers (see RUUEngine
+        # ``_interrupt_at``): ``seq`` stays the dynamic index.
+        self.next_seq = entry.seq
         self.fetch_done = False
         self.fetch_resume_cycle = self.cycle + 1
 
@@ -331,4 +334,9 @@ class FutureFileEngine(InOrderPreciseEngine):
     def _recover_precise_state(self, fault_seq: int) -> None:
         """The architectural file is already precise; resynchronize the
         future file from it."""
+        self.future = self.regs.copy()
+
+    def _on_restore(self) -> None:
+        """A restored register file must be mirrored into the future
+        file before issue reads resume."""
         self.future = self.regs.copy()

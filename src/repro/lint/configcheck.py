@@ -69,6 +69,7 @@ def check_config(program: Program, config: MachineConfig) -> List[Diagnostic]:
         ("n_tags", 1),
         ("counter_bits", 1),
         ("max_cycles", 1),
+        ("watchdog_cycles", 0),
         ("branch_taken_penalty", 0),
         ("branch_not_taken_penalty", 0),
         ("forward_latency", 1),

@@ -1,8 +1,20 @@
 """Machine substrate: configuration, memory, buses, FUs, engine base."""
 
+from .checkpoint import Checkpoint, CheckpointError
 from .config import CRAY1_LIKE, MachineConfig, config_for_window
+from .diagnostics import (
+    EngineDiagnostic,
+    WaitingInstruction,
+    capture_diagnostic,
+)
 from .engine import Engine
-from .faults import FAULT_TYPES, ArithmeticFault, PageFault, SimulationError
+from .faults import (
+    FAULT_TYPES,
+    ArithmeticFault,
+    DeadlockError,
+    PageFault,
+    SimulationError,
+)
 from .fetch import InstructionBuffers
 from .functional_units import FunctionalUnit, FUPool
 from .interrupts import InterruptRecord
@@ -15,7 +27,11 @@ __all__ = [
     "ArithmeticFault",
     "BroadcastBus",
     "CRAY1_LIKE",
+    "Checkpoint",
+    "CheckpointError",
+    "DeadlockError",
     "Engine",
+    "EngineDiagnostic",
     "FAULT_TYPES",
     "FUPool",
     "FunctionalUnit",
@@ -29,7 +45,9 @@ __all__ = [
     "SimResult",
     "SimulationError",
     "StallReason",
+    "WaitingInstruction",
     "aggregate",
+    "capture_diagnostic",
     "config_for_window",
     "speedup",
 ]

@@ -56,6 +56,11 @@ class MachineConfig:
             in the speculative RUU (the paper notes there is no hard
             architectural limit; this bounds the bookkeeping).
         max_cycles: safety valve for runaway simulations.
+        watchdog_cycles: progress watchdog -- if no instruction
+            architecturally retires for this many consecutive cycles the
+            engine raises a :class:`~repro.machine.faults.DeadlockError`
+            (with a pipeline diagnostic) instead of burning the rest of
+            the ``max_cycles`` budget.  0 disables the watchdog.
     """
 
     latencies: Mapping[FUClass, int] = field(
@@ -76,6 +81,7 @@ class MachineConfig:
     spec_mispredict_penalty: int = 3
     spec_max_branches: int = 8
     max_cycles: int = 10_000_000
+    watchdog_cycles: int = 10_000
 
     def latency(self, fu: FUClass) -> int:
         """Functional-unit time for ``fu`` in cycles."""

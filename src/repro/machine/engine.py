@@ -39,7 +39,8 @@ from ..isa.program import Program
 from ..isa.registers import Register, RegisterFile
 from ..isa.semantics import branch_taken
 from .config import CRAY1_LIKE, MachineConfig
-from .faults import SimulationError
+from .diagnostics import capture_diagnostic
+from .faults import DeadlockError, SimulationError
 from .functional_units import FUPool
 from .interrupts import InterruptRecord
 from .memory import Memory
@@ -98,24 +99,43 @@ class Engine(abc.ABC):
         #: Host wall-clock seconds spent inside ``run()`` so far
         #: (accumulates across ``continue_run`` resumes).
         self.host_seconds = 0.0
+        #: Cycle of the most recent architectural retirement -- the
+        #: progress signal the deadlock watchdog monitors.
+        self.last_commit_cycle = 0
 
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
 
     def run(self, max_cycles: Optional[int] = None) -> SimResult:
-        """Simulate until the program drains, a fault interrupts, or the
-        cycle limit trips (which raises -- it indicates a deadlock bug).
+        """Simulate until the program drains, a fault interrupts, or a
+        progress limit trips (which raises :class:`DeadlockError` -- it
+        indicates a deadlock bug).
+
+        Two limits guard the loop: the hard ``max_cycles`` budget, and a
+        progress watchdog (``config.watchdog_cycles``) that trips as
+        soon as no instruction has architecturally retired for that many
+        cycles -- typically long before the cycle budget burns down.
+        Both raise a :class:`DeadlockError` carrying an
+        :class:`~repro.machine.diagnostics.EngineDiagnostic` snapshot.
         """
-        limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        limit = max_cycles if max_cycles is not None \
+            else self.config.max_cycles
+        watchdog = self.config.watchdog_cycles
+        # A resumed run must not inherit staleness from before the trap.
+        self.last_commit_cycle = max(self.last_commit_cycle, self.cycle)
         started = time.perf_counter()
         try:
             while not self.done():
                 if self.cycle >= limit:
-                    raise SimulationError(
-                        f"{self.name}: exceeded {limit} cycles on "
-                        f"{self.program.name!r} (pc={self.pc}, "
-                        f"decode={self.decode_slot})"
+                    raise self._deadlock(
+                        f"exceeded the {limit}-cycle budget"
+                    )
+                if watchdog and \
+                        self.cycle - self.last_commit_cycle >= watchdog:
+                    raise self._deadlock(
+                        f"watchdog: no instruction committed for "
+                        f"{self.cycle - self.last_commit_cycle} cycles"
                     )
                 self.tick()
                 self.cycle += 1
@@ -126,6 +146,16 @@ class Engine(abc.ABC):
         finally:
             self.host_seconds += time.perf_counter() - started
         return self.result()
+
+    def _deadlock(self, reason: str) -> DeadlockError:
+        """Build a :class:`DeadlockError` with a pipeline snapshot."""
+        diagnostic = capture_diagnostic(self)
+        return DeadlockError(
+            f"{self.name}: {reason} on {self.program.name!r} "
+            f"(pc={self.pc}, decode={self.decode_slot})\n"
+            + diagnostic.describe(),
+            diagnostic=diagnostic,
+        )
 
     def continue_run(self, max_cycles: Optional[int] = None) -> SimResult:
         """Resume after an interrupt has been serviced.
@@ -147,6 +177,12 @@ class Engine(abc.ABC):
     def _prepare_resume(self) -> None:
         """Hook: restore engine bookkeeping before resuming from a trap."""
         raise NotImplementedError
+
+    def _on_restore(self) -> None:
+        """Hook: resynchronize derived state after a checkpoint restore
+        has overwritten ``regs``/``memory`` and the architectural
+        counters (see :mod:`repro.machine.checkpoint`).  Default: no-op.
+        """
 
     def tick(self) -> None:
         """Advance one clock cycle through the four phases."""
@@ -331,11 +367,14 @@ class Engine(abc.ABC):
         """An instruction has architecturally completed."""
         self.retired += 1
         self.retire_log.append(seq)
+        self.last_commit_cycle = self.cycle
 
     def _schedule_completion(self, cycle: int, payload: object) -> None:
         """Register a functional-unit result for delivery at ``cycle``."""
         self._completion_ids += 1
-        heapq.heappush(self._completions, (cycle, self._completion_ids, payload))
+        heapq.heappush(
+            self._completions, (cycle, self._completion_ids, payload)
+        )
 
     def _pop_completions(self) -> List[object]:
         """Pop every payload scheduled for the current cycle."""

@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from ..isa.semantics import ArithmeticFault
 
-__all__ = ["ArithmeticFault", "PageFault", "SimulationError", "FAULT_TYPES"]
+__all__ = [
+    "ArithmeticFault",
+    "DeadlockError",
+    "PageFault",
+    "SimulationError",
+    "FAULT_TYPES",
+]
 
 
 class PageFault(Exception):
@@ -31,3 +37,20 @@ FAULT_TYPES = (ArithmeticFault, PageFault)
 
 class SimulationError(RuntimeError):
     """An internal simulator invariant was violated (this is a bug)."""
+
+
+class DeadlockError(SimulationError):
+    """The machine stopped making forward progress.
+
+    Raised by the engine's progress watchdog (no instruction committed
+    for ``config.watchdog_cycles`` cycles) or by the hard ``max_cycles``
+    budget.  Carries a machine-readable
+    :class:`~repro.machine.diagnostics.EngineDiagnostic` snapshot of the
+    stalled pipeline so the failure is debuggable from the exception
+    alone -- ``describe()`` on the diagnostic names the waiting
+    instructions and the resources they are blocked on.
+    """
+
+    def __init__(self, message: str, diagnostic=None) -> None:
+        super().__init__(message)
+        self.diagnostic = diagnostic

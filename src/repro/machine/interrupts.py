@@ -10,7 +10,10 @@ the other engines do not.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict
+
+from ..isa.semantics import ArithmeticFault
+from .faults import PageFault
 
 
 @dataclass(frozen=True)
@@ -40,4 +43,55 @@ class InterruptRecord:
         return (
             f"interrupt at cycle {self.cycle}: {self.cause} "
             f"(dynamic instruction #{self.seq}, pc={self.pc}, {precision})"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        """Lossless JSON form (cause as type name + constructor args)."""
+        cause = self.cause
+        if isinstance(cause, PageFault):
+            cause_json: Dict[str, Any] = {
+                "type": "PageFault",
+                "args": [cause.address, cause.is_store],
+            }
+        elif isinstance(cause, ArithmeticFault):
+            cause_json = {"type": "ArithmeticFault", "args": [cause.reason]}
+        else:  # pragma: no cover - no third fault type exists today
+            cause_json = {"type": type(cause).__name__, "args": [str(cause)]}
+        return {
+            "cause": cause_json,
+            "seq": self.seq,
+            "pc": self.pc,
+            "cycle": self.cycle,
+            "claims_precise": self.claims_precise,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "InterruptRecord":
+        """Rebuild a record produced by :meth:`to_json`."""
+        cause_json = payload["cause"]
+        kind = cause_json["type"]
+        args = cause_json["args"]
+        if kind == "PageFault":
+            cause: Exception = PageFault(int(args[0]), bool(args[1]))
+        elif kind == "ArithmeticFault":
+            cause = ArithmeticFault(str(args[0]))
+        else:
+            cause = RuntimeError(*args)
+        return cls(
+            cause=cause,
+            seq=int(payload["seq"]),
+            pc=int(payload["pc"]),
+            cycle=int(payload["cycle"]),
+            claims_precise=bool(payload["claims_precise"]),
+        )
+
+    def same_event(self, other: "InterruptRecord") -> bool:
+        """Field-wise equality (exceptions only compare by identity)."""
+        return (
+            type(self.cause) is type(other.cause)
+            and self.cause.args == other.cause.args
+            and self.seq == other.seq
+            and self.pc == other.pc
+            and self.cycle == other.cycle
+            and self.claims_precise == other.claims_precise
         )

@@ -98,14 +98,26 @@ class TestCaching:
         assert cached.cycles == fresh.cycles
         assert cached.issue_rate == fresh.issue_rate
 
-    def test_interrupted_runs_not_cached(self, cache):
+    def test_interrupted_runs_cache_and_round_trip(self, cache):
+        """Since schema 3, injected fault addresses are part of the key
+        and the interrupt record round-trips, so interrupted runs are
+        cacheable -- and servicing the fault changes the key."""
         workload = fault_probe()
         workload.initial_memory.inject_fault(workload.fault_address)
         builder = ENGINE_FACTORIES["ruu-bypass"]
-        cache.run(builder, "ruu-bypass", workload, CONFIG)
-        cache.run(builder, "ruu-bypass", workload, CONFIG)
-        assert cache.hits == 0
+        first = cache.run(builder, "ruu-bypass", workload, CONFIG)
+        second = cache.run(builder, "ruu-bypass", workload, CONFIG)
+        assert cache.misses == 1 and cache.hits == 1
+        assert second.extra.get("from_cache")
+        restored = second.extra["interrupt"]
+        assert restored.same_event(first.extra["interrupt"])
+        assert restored.claims_precise
+        # A fault-free copy of the same workload must not hit the
+        # interrupted entry.
+        workload.initial_memory.service_fault(workload.fault_address)
+        clean = cache.run(builder, "ruu-bypass", workload, CONFIG)
         assert cache.misses == 2
+        assert clean.interrupts == 0
 
     def test_clear(self, cache):
         workload = dependency_chain(30)
@@ -158,6 +170,85 @@ class TestAtomicityAndCorruption:
             handle.write("garbage")
         assert cache.get(cache_key("rstu", workload, CONFIG)) is None
         assert not os.path.exists(path)
+
+
+class TestDegradation:
+    """Cache trouble can never fail a sweep: a broken directory
+    disables the cache (one warning), an unreadable entry is a miss.
+
+    These tests run as root in CI containers, where permission bits are
+    ignored -- so the failures are provoked structurally (a *file*
+    where a directory must be, and vice versa), which no euid can
+    bypass."""
+
+    def test_uncreatable_directory_disables_cache(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache dir must go")
+        with pytest.warns(RuntimeWarning, match="continuing without"):
+            cache = ResultCache(str(blocker / "cache"))
+        assert cache.disabled
+        workload = dependency_chain(30)
+        result = cache.run(
+            ENGINE_FACTORIES["rstu"], "rstu", workload, CONFIG
+        )
+        assert result.cycles > 0
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_unreadable_entry_is_a_miss(self, cache):
+        workload = dependency_chain(30)
+        builder = ENGINE_FACTORIES["rstu"]
+        fresh = cache.run(builder, "rstu", workload, CONFIG)
+        path = cache._path(cache_key("rstu", workload, CONFIG))
+        os.remove(path)
+        os.mkdir(path)  # a directory where the entry file should be
+        try:
+            with pytest.warns(RuntimeWarning, match="cannot read"):
+                again = cache.run(builder, "rstu", workload, CONFIG)
+        finally:
+            os.rmdir(path)
+        assert again.cycles == fresh.cycles
+        assert cache.misses == 2 and cache.hits == 0
+        assert not cache.disabled  # only that entry degraded
+
+    def test_warning_fires_once(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        with pytest.warns(RuntimeWarning):
+            cache = ResultCache(str(blocker / "cache"))
+        workload = dependency_chain(30)
+        with warnings_as_errors():
+            cache.run(ENGINE_FACTORIES["rstu"], "rstu", workload, CONFIG)
+            cache.run(ENGINE_FACTORIES["rstu"], "rstu", workload, CONFIG)
+            assert cache.clear() == 0
+
+    def test_unwritable_entry_degrades_put(self, cache):
+        workload = dependency_chain(30)
+        builder = ENGINE_FACTORIES["rstu"]
+        key = cache_key("rstu", workload, CONFIG)
+        os.mkdir(cache._path(key))  # unreadable entry + os.replace fails
+        try:
+            # One warning covers the whole degradation (warn-once); both
+            # the blocked read and the blocked publish stay non-fatal.
+            with pytest.warns(RuntimeWarning, match="continuing without"):
+                cache.run(builder, "rstu", workload, CONFIG)
+        finally:
+            os.rmdir(cache._path(key))
+        assert cache.misses == 1
+        leftovers = [name for name in os.listdir(cache.directory)
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+
+
+class warnings_as_errors:
+    def __enter__(self):
+        import warnings
+        self._ctx = warnings.catch_warnings()
+        self._ctx.__enter__()
+        warnings.simplefilter("error")
+        return self
+
+    def __exit__(self, *exc_info):
+        return self._ctx.__exit__(*exc_info)
 
 
 class TestRoundTrip:

@@ -1,0 +1,137 @@
+"""Deadlock watchdog and structured engine diagnostics."""
+
+import json
+
+import pytest
+
+from repro.analysis import ENGINE_FACTORIES
+from repro.machine import (
+    DeadlockError,
+    MachineConfig,
+    capture_diagnostic,
+)
+from repro.machine.faults import SimulationError
+from repro.workloads import lll3
+
+CONFIG = MachineConfig(window_size=10)
+
+
+def frozen_engine(name="ruu-bypass", warmup=10):
+    """An engine with real in-flight state whose pipeline then freezes.
+
+    Ticking by hand fills the window; replacing ``tick`` with a no-op
+    models a wedged pipeline (a scheduling bug, a lost wakeup): cycles
+    keep counting but nothing completes or commits ever again.
+    """
+    workload = lll3(n=40)
+    engine = ENGINE_FACTORIES[name](
+        workload.program, CONFIG, workload.make_memory()
+    )
+    for _ in range(warmup):
+        engine.tick()
+        engine.cycle += 1
+    assert not engine.done()
+    engine.tick = lambda: None
+    return engine
+
+
+class TestWatchdog:
+    def test_trips_well_before_cycle_budget(self):
+        engine = frozen_engine()
+        engine.config = engine.config.with_(
+            watchdog_cycles=50, max_cycles=100_000
+        )
+        with pytest.raises(DeadlockError) as excinfo:
+            engine.run()
+        assert engine.cycle < 100
+        assert "watchdog" in str(excinfo.value)
+        assert excinfo.value.diagnostic.cycles_since_commit >= 50
+
+    def test_budget_still_guards_when_disabled(self):
+        engine = frozen_engine()
+        engine.config = engine.config.with_(
+            watchdog_cycles=0, max_cycles=500
+        )
+        with pytest.raises(DeadlockError) as excinfo:
+            engine.run()
+        assert "budget" in str(excinfo.value)
+        assert engine.cycle >= 500
+
+    def test_deadlock_is_a_simulation_error(self):
+        engine = frozen_engine()
+        engine.config = engine.config.with_(watchdog_cycles=50)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_healthy_run_never_trips(self):
+        workload = lll3(n=40)
+        engine = ENGINE_FACTORIES["ruu-bypass"](
+            workload.program,
+            CONFIG.with_(watchdog_cycles=200),
+            workload.make_memory(),
+        )
+        result = engine.run()
+        assert result.instructions > 0
+
+    @pytest.mark.parametrize("name", ["simple", "tomasulo", "rstu",
+                                      "history-buffer", "spec-ruu"])
+    def test_every_engine_zoo_member_is_coverable(self, name):
+        """The duck-typed capture works across the whole zoo."""
+        engine = frozen_engine(name)
+        engine.config = engine.config.with_(watchdog_cycles=40)
+        with pytest.raises(DeadlockError) as excinfo:
+            engine.run()
+        diagnostic = excinfo.value.diagnostic
+        assert diagnostic.engine == engine.name
+        assert diagnostic.cycles_since_commit >= 40
+
+
+class TestDiagnostic:
+    def trapped(self):
+        engine = frozen_engine()
+        engine.config = engine.config.with_(watchdog_cycles=50)
+        with pytest.raises(DeadlockError) as excinfo:
+            engine.run()
+        return excinfo.value.diagnostic
+
+    def test_names_waiting_instructions(self):
+        diagnostic = self.trapped()
+        assert diagnostic.waiting, "expected in-flight instructions"
+        states = {entry.state for entry in diagnostic.waiting}
+        assert states <= {"waiting", "dispatched", "done"}
+        blocked = [entry for entry in diagnostic.waiting
+                   if entry.waiting_on]
+        assert blocked, "expected at least one blocked instruction"
+        assert diagnostic.blocked_resources()
+
+    def test_describe_is_actionable(self):
+        diagnostic = self.trapped()
+        text = diagnostic.describe()
+        assert "no commit for" in text
+        assert "in-flight instructions" in text
+        assert "blocked resources" in text
+        # every waiting instruction is printed with its disassembly
+        for entry in diagnostic.waiting:
+            assert entry.text in text
+
+    def test_to_json_is_serializable(self):
+        diagnostic = self.trapped()
+        payload = json.loads(json.dumps(diagnostic.to_json()))
+        assert payload["engine"] == "ruu-bypass"
+        assert payload["cycles_since_commit"] >= 50
+        assert payload["waiting"]
+        assert payload["blocked_resources"]
+
+    def test_capture_on_live_engine_is_readonly(self):
+        workload = lll3(n=40)
+        engine = ENGINE_FACTORIES["ruu-bypass"](
+            workload.program, CONFIG, workload.make_memory()
+        )
+        for _ in range(10):
+            engine.tick()
+            engine.cycle += 1
+        before = engine.regs.snapshot()
+        diagnostic = capture_diagnostic(engine)
+        assert engine.regs.snapshot() == before
+        assert diagnostic.cycle == engine.cycle
+        engine.run()  # capture must not have perturbed the machine

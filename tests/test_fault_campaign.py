@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis import ENGINE_FACTORIES
 from repro.core import (
     BypassMode,
     RUUEngine,
@@ -10,7 +11,12 @@ from repro.core import (
 )
 from repro.interrupts import HistoryBufferEngine
 from repro.machine import MachineConfig
-from repro.workloads import LIVERMORE_FACTORIES, memory_alias_kernel
+from repro.machine.faults import SimulationError
+from repro.workloads import (
+    LIVERMORE_FACTORIES,
+    fault_probe,
+    memory_alias_kernel,
+)
 
 CONFIG = MachineConfig(window_size=10)
 
@@ -75,3 +81,37 @@ class TestCampaigns:
             ruu_factory(), workload, max_sites=5
         )
         assert result.sites_tested <= 5
+
+
+class TestImpreciseEngines:
+    """Negative controls: the paper's problem machines must *fail* the
+    precision claim, and the harness must refuse to resume them.  If one
+    of these ever starts passing, either the engine quietly became
+    precise (update its ``claims_precise_interrupts``) or the verifier
+    stopped checking anything."""
+
+    IMPRECISE = ["tomasulo", "dispatch-stack", "simple"]
+
+    def trap(self, name):
+        workload = fault_probe()
+        memory = workload.make_memory()
+        memory.inject_fault(workload.fault_address)
+        engine = ENGINE_FACTORIES[name](workload.program, CONFIG, memory)
+        engine.run()
+        return engine, workload
+
+    @pytest.mark.parametrize("name", IMPRECISE)
+    def test_interrupt_is_reported_imprecise(self, name):
+        engine, _ = self.trap(name)
+        record = engine.interrupt_record
+        assert record is not None, "fault was never taken"
+        assert not record.claims_precise
+        assert not engine.claims_precise_interrupts
+        assert "IMPRECISE" in record.describe()
+
+    @pytest.mark.parametrize("name", IMPRECISE)
+    def test_resume_is_refused(self, name):
+        engine, workload = self.trap(name)
+        engine.memory.service_fault(workload.fault_address)
+        with pytest.raises(SimulationError, match="imprecise"):
+            engine.continue_run()

@@ -217,6 +217,62 @@ class TestPrecisionProperty:
             assert run_memory.diff(golden.memory) == {}
 
 
+class TestCheckpointProperty:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        source=program_text(),
+        data=initial_data(),
+        fault_offset=st.integers(0, REGION_SIZE - 1),
+        region=st.sampled_from([FLOAT_REGION, INT_REGION]),
+        target=st.sampled_from([
+            "ruu-bypass", "spec-ruu", "reorder-buffer", "history-buffer",
+            "future-file",
+        ]),
+    )
+    def test_checkpoint_restore_resume_equals_uninterrupted(
+        self, source, data, fault_offset, region, target,
+    ):
+        """On a random program with a random injected page fault:
+        trap -> checkpoint -> serialize -> restore into a random precise
+        engine -> resume must reach exactly the state an uninterrupted
+        run reaches.  (If the program never touches the faulting
+        address, the drained engine must checkpoint/restore too.)"""
+        import json as json_module
+
+        from repro.analysis import ENGINE_FACTORIES
+        from repro.machine import Checkpoint
+
+        program = assemble(source)
+        memory = _build_memory(data)
+        golden = _golden(program, memory)
+        assume(golden is not None)
+        run_memory = memory.copy()
+        run_memory.inject_fault(region + fault_offset)
+        engine = ENGINE_FACTORIES["ruu-bypass"](
+            program, CONFIG, run_memory
+        )
+        engine.run()
+        record = engine.interrupt_record
+        if record is not None:
+            assert record.claims_precise
+        # Serialize through JSON text: the restore must work from the
+        # document alone, not from live object references.
+        document = json_module.loads(
+            json_module.dumps(Checkpoint.capture(engine).to_json())
+        )
+        del engine, run_memory
+        machine = Checkpoint.from_json(document).restore(engine=target)
+        if record is not None:
+            prefix = prefix_state(program, record.seq, memory=memory)
+            assert prefix.regs.diff(machine.regs) == {}
+            machine.memory.service_fault(region + fault_offset)
+            machine.continue_run()
+        assert machine.regs.diff(golden.regs) == {}
+        assert machine.memory.diff(golden.memory) == {}
+        assert machine.retired == golden.executed
+
+
 class TestSemanticsProperties:
     @given(st.integers(-(1 << 40), 1 << 40))
     def test_wrap_a_range(self, value):
