@@ -16,6 +16,13 @@ Commands:
   checkpoint at the trap, restore into a fresh (possibly different)
   precise engine, resume, and verify against the golden model
 * ``loops``           -- list the bundled workloads with their stats
+* ``serve``           -- run the simulator as a persistent HTTP
+  service (bounded admission queue, request coalescing, shared result
+  cache, Prometheus ``/metrics``; see ``docs/service.md``)
+* ``loadbench``       -- drive a server through the standard load
+  phases and emit ``BENCH_serve.json`` with pass/fail gates
+
+``repro --version`` prints the package version.
 """
 
 from __future__ import annotations
@@ -44,10 +51,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = MachineConfig(window_size=args.window)
     builder = ENGINE_FACTORIES[args.engine]
     engine = builder(program, config, Memory())
+    if args.timeline:
+        from .machine.timeline import Timeline
+
+        engine.timeline = Timeline()
     result = engine.run()
     print(result.describe())
     if engine.interrupt_record is not None:
         print(engine.interrupt_record.describe())
+    if args.timeline and engine.timeline is not None:
+        print()
+        print(engine.timeline.gantt(program=program))
+        print()
+        print(engine.timeline.summary())
     if args.registers:
         for name, value in sorted(engine.regs.nonzero().items()):
             print(f"  {name:>4s} = {value}")
@@ -255,11 +271,80 @@ def _cmd_loops(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import logging
+
+    from .serve.server import ServeApp
+    from .serve.service import SimService
+
+    if args.access_log:
+        logging.basicConfig(level=logging.INFO, format="%(message)s")
+    service = SimService(
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+        cache_dir=args.cache_dir,
+        point_timeout=args.point_timeout,
+        max_retries=args.max_retries,
+        batch_max=args.batch_max,
+    )
+    app = ServeApp(service, request_timeout=args.request_timeout)
+    try:
+        return asyncio.run(app.run(args.host, args.port))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_loadbench(args: argparse.Namespace) -> int:
+    from .serve.loadgen import (
+        LoadGenerator,
+        format_report,
+        write_report_json,
+    )
+
+    handle = None
+    host, port = args.host, args.port
+    if args.spawn:
+        import tempfile
+
+        from .serve.server import serve_in_background
+
+        scratch = tempfile.mkdtemp(prefix="repro-loadbench-cache-")
+        handle = serve_in_background(
+            jobs=args.jobs,
+            queue_depth=args.queue_depth,
+            cache_dir=scratch,
+            point_timeout=args.point_timeout,
+        )
+        host, port = "127.0.0.1", handle.port
+        print(f"spawned server on port {port} "
+              f"(jobs={args.jobs}, queue={args.queue_depth})")
+    elif port is None:
+        print("either --port (attach) or --spawn is required")
+        return 2
+    try:
+        generator = LoadGenerator(host, port)
+        report = generator.run_all()
+    finally:
+        if handle is not None:
+            handle.stop()
+    print(format_report(report))
+    write_report_json(report, args.json)
+    print(f"wrote {args.json}")
+    return 0 if report["passed"] else 1
+
+
 def main(argv=None) -> int:
+    from .version import get_version
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Sohi RUU reproduction: CRAY-1-like issue-logic "
                     "simulators",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro {get_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -270,6 +355,9 @@ def main(argv=None) -> int:
     p_run.add_argument("--window", type=int, default=12)
     p_run.add_argument("--registers", action="store_true",
                        help="dump non-zero registers after the run")
+    p_run.add_argument("--timeline", action="store_true",
+                       help="print a pipeline Gantt diagram and "
+                            "stage-delay summary after the run")
     p_run.set_defaults(func=_cmd_run)
 
     p_lint = sub.add_parser(
@@ -364,6 +452,58 @@ def main(argv=None) -> int:
 
     p_loops = sub.add_parser("loops", help="list bundled workloads")
     p_loops.set_defaults(func=_cmd_loops)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the simulator as a persistent HTTP service",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642)
+    p_serve.add_argument("--jobs", type=int, default=2,
+                         help="worker processes in the simulation pool")
+    p_serve.add_argument("--queue-depth", type=int, default=32,
+                         help="admission bound on pending points; "
+                              "beyond it clients get 429 + Retry-After")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="shared on-disk result cache (default: "
+                              "no persistent cache)")
+    p_serve.add_argument("--point-timeout", type=float, default=120.0,
+                         help="per-point wall clock before the worker "
+                              "is killed")
+    p_serve.add_argument("--request-timeout", type=float, default=None,
+                         help="per-request deadline (default: derived "
+                              "from the point timeout and retry budget)")
+    p_serve.add_argument("--max-retries", type=int, default=1,
+                         help="crash/timeout retries per point")
+    p_serve.add_argument("--batch-max", type=int, default=None,
+                         help="micro-batch cap per dispatch (default: "
+                              "2x jobs)")
+    p_serve.add_argument("--access-log", action="store_true",
+                         help="print structured access-log lines")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadbench",
+        help="load-test a simulation server and emit BENCH_serve.json",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=None,
+                        help="attach to a running server at this port")
+    p_load.add_argument("--spawn", action="store_true",
+                        help="spawn a private in-process server "
+                             "instead of attaching")
+    p_load.add_argument("--jobs", type=int, default=2,
+                        help="worker processes for --spawn")
+    p_load.add_argument("--queue-depth", type=int, default=16,
+                        help="admission bound for --spawn (small by "
+                             "default so the burst phase can provoke "
+                             "backpressure)")
+    p_load.add_argument("--point-timeout", type=float, default=120.0,
+                        help="per-point timeout for --spawn")
+    p_load.add_argument("--json", default="BENCH_serve.json",
+                        metavar="FILE",
+                        help="write the machine-readable report here")
+    p_load.set_defaults(func=_cmd_loadbench)
 
     args = parser.parse_args(argv)
     return args.func(args)

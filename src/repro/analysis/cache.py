@@ -48,6 +48,7 @@ import json
 import hashlib
 import os
 import tempfile
+import threading
 import warnings
 from collections import Counter
 from typing import Callable, Mapping, Optional
@@ -154,6 +155,21 @@ def _extra_from_json(payload: dict) -> dict:
     return extra
 
 
+def serialize_result(result: SimResult) -> dict:
+    """Public face of the lossless ``SimResult`` -> JSON-able mapping.
+
+    The serving protocol (:mod:`repro.serve.protocol`) derives its wire
+    format from this, so a result that crosses the network round-trips
+    through exactly the machinery the cache already pins with tests.
+    """
+    return _result_to_json(result)
+
+
+def deserialize_result(payload: dict) -> SimResult:
+    """Inverse of :func:`serialize_result`; raises on incompatible data."""
+    return _result_from_json(payload)
+
+
 def _result_to_json(result: SimResult) -> dict:
     """Serialize every ``SimResult`` field (minus excluded extras)."""
     payload: dict = {"schema": SCHEMA_VERSION}
@@ -189,7 +205,11 @@ class ResultCache:
     """A directory of memoized simulation results.
 
     Safe to share between processes: writes are atomic and unreadable
-    entries degrade to misses.
+    entries degrade to misses.  Also safe to share between *threads*
+    within one process (the serving layer's request handlers all read
+    through one cache): entry reads and writes are independent by
+    construction, and the hit/miss counters and warn-once latch are
+    guarded by a lock so concurrent readers never lose counts.
     """
 
     def __init__(self, directory: str) -> None:
@@ -200,15 +220,25 @@ class ResultCache:
         #: operation is then a cheap no-op and the sweep runs uncached.
         self.disabled = False
         self._warned = False
+        self._lock = threading.Lock()
         try:
             os.makedirs(directory, exist_ok=True)
         except OSError as exc:
             self._degrade(f"cannot create cache directory: {exc}")
 
+    def _count(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+
     def _warn_once(self, message: str) -> None:
-        if not self._warned:
+        with self._lock:
+            if self._warned:
+                return
             self._warned = True
-            warnings.warn(
+        warnings.warn(
                 f"result cache {self.directory!r}: {message}; "
                 f"continuing without it (simulations re-run, results "
                 f"unaffected)",
@@ -290,9 +320,9 @@ class ResultCache:
         key = cache_key(engine_name, workload, config)
         cached = self.get(key)
         if cached is not None:
-            self.hits += 1
+            self._count(hit=True)
             return cached
-        self.misses += 1
+        self._count(hit=False)
         engine = builder(workload.program, config, workload.make_memory())
         result = engine.run()
         # Interrupted runs cache too: injected fault addresses are part

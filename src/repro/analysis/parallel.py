@@ -113,14 +113,25 @@ def _guarded_worker(job: Tuple[SimPoint, Optional[str]]) -> Tuple:
 
     A Python exception inside a simulation (a real engine bug, a
     :class:`~repro.machine.faults.DeadlockError`, ...) comes back as
-    ``("error", message)`` instead of poisoning the pool; only a hard
-    process death (segfault, OOM kill) breaks the executor.
+    ``("error", message, diagnostic_json_or_None)`` instead of
+    poisoning the pool; only a hard process death (segfault, OOM kill)
+    breaks the executor.  When the exception carries an
+    :class:`~repro.machine.diagnostics.EngineDiagnostic` (deadlock
+    watchdog, cycle budget), its JSON form rides along so callers --
+    notably the serving layer -- can surface *what the pipeline was
+    waiting for*, not just that it stalled.
     """
     try:
         result, hit = _worker(job)
         return ("ok", result, hit)
     except Exception as exc:  # noqa: BLE001 - converted to a report entry
-        return ("error", f"{type(exc).__name__}: {exc}")
+        diagnostic = getattr(exc, "diagnostic", None)
+        if diagnostic is not None:
+            try:
+                diagnostic = diagnostic.to_json()
+            except Exception:  # noqa: BLE001 - diagnostics are best-effort
+                diagnostic = None
+        return ("error", f"{type(exc).__name__}: {exc}", diagnostic)
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -147,6 +158,10 @@ class PointFailure:
     workload: str
     attempts: int
     error: str
+    #: Machine-readable pipeline snapshot when the failure was a
+    #: :class:`~repro.machine.faults.DeadlockError` (JSON form of
+    #: :class:`~repro.machine.diagnostics.EngineDiagnostic`).
+    diagnostic: Optional[Dict[str, Any]] = None
 
     def describe(self) -> str:
         return (
@@ -161,7 +176,29 @@ class PointFailure:
             "workload": self.workload,
             "attempts": self.attempts,
             "error": self.error,
+            "diagnostic": self.diagnostic,
         }
+
+
+@dataclass
+class PointOutcome:
+    """Settled verdict for one point of a :meth:`run_points_settled`.
+
+    Exactly one of ``result`` / ``error`` is set.  ``diagnostic`` is the
+    JSON pipeline snapshot when the error was a deadlock;
+    ``cache_hit`` reports whether the result was served from the shared
+    :class:`~repro.analysis.cache.ResultCache`.
+    """
+
+    result: Optional[SimResult]
+    error: Optional[str] = None
+    diagnostic: Optional[Dict[str, Any]] = None
+    attempts: int = 0
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
 
 
 @dataclass
@@ -281,6 +318,17 @@ class ParallelRunner:
             (``backoff * 2**(k-1)``).
         serial_fallback: run still-unfinished points in this process
             after the last round instead of failing them.
+        reuse_pool: keep one warm ``ProcessPoolExecutor`` alive across
+            :meth:`run_points` calls instead of building a fresh pool
+            per round.  This is what makes the runner serve-able: a
+            long-lived service pays the worker spawn cost once, not per
+            request.  A crashed or timed-out round still kills and
+            rebuilds the pool (the self-healing contract is unchanged);
+            call :meth:`close` to release the workers.  With
+            ``reuse_pool`` the per-call ``jobs`` clamp to the point
+            count is skipped so the pool keeps a stable size, and a
+            single point still runs in a worker process (isolation and
+            timeout-kill apply to it too).
     """
 
     def __init__(self, jobs: Optional[int] = None,
@@ -288,7 +336,8 @@ class ParallelRunner:
                  timeout: Optional[float] = None,
                  max_retries: int = 2,
                  backoff: float = 0.25,
-                 serial_fallback: bool = True) -> None:
+                 serial_fallback: bool = True,
+                 reuse_pool: bool = False) -> None:
         self.jobs = jobs if jobs else (os.cpu_count() or 1)
         self.cache_dir = cache_dir
         if cache_dir is not None:
@@ -302,6 +351,9 @@ class ParallelRunner:
         self.max_retries = max_retries
         self.backoff = backoff
         self.serial_fallback = serial_fallback
+        self.reuse_pool = reuse_pool
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
         self.hits = 0
         self.misses = 0
         self.points_run = 0
@@ -323,9 +375,58 @@ class ParallelRunner:
         serial fallback -- when some points cannot produce a result;
         the error's report says which and why.
         """
-        points = list(points)
+        outcomes, fleet = self._execute(list(points), jobs)
+        if fleet.failures:
+            raise FleetError(fleet)
+        return [outcome.result for outcome in outcomes]  # type: ignore[misc]
+
+    def run_points_settled(self, points: Iterable[SimPoint],
+                           jobs: Optional[int] = None
+                           ) -> List[PointOutcome]:
+        """Run every point; return a per-point verdict, never raising.
+
+        The serving layer's entry point: a point that fails (a deadlock,
+        an engine bug, a worker that kept dying) becomes a
+        :class:`PointOutcome` with ``error`` (and ``diagnostic`` for
+        deadlocks) instead of poisoning the whole batch.  Failures are
+        still recorded in :attr:`fleet` / :attr:`last_fleet`.
+        """
+        outcomes, _ = self._execute(list(points), jobs)
+        return outcomes
+
+    def close(self, wait: bool = True) -> None:
+        """Release the persistent pool (no-op without ``reuse_pool``).
+
+        An idle pool is shut down politely (workers join, the
+        executor's machinery unwinds cleanly).  ``wait=False`` takes
+        the kill path instead -- for callers that know the pool may
+        hold a wedged worker and must not block on it.
+        """
+        if self._pool is not None:
+            if wait:
+                try:
+                    self._pool.shutdown(wait=True, cancel_futures=True)
+                except Exception:  # broken pool: fall back to the axe
+                    _kill_pool(self._pool)
+            else:
+                _kill_pool(self._pool)
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _execute(self, points: List[SimPoint],
+                 jobs: Optional[int]
+                 ) -> Tuple[List[PointOutcome], FleetReport]:
         jobs = jobs if jobs else self.jobs
-        jobs = max(1, min(jobs, len(points) or 1))
+        if not self.reuse_pool:
+            # A persistent pool keeps its size across calls; a one-shot
+            # pool shrinks to the work at hand.
+            jobs = max(1, min(jobs, len(points) or 1))
         unknown = sorted({p.engine for p in points} - set(ENGINE_FACTORIES))
         if unknown:
             raise KeyError(f"unknown engine(s): {', '.join(unknown)}")
@@ -334,6 +435,7 @@ class ParallelRunner:
         results: List[Optional[SimResult]] = [None] * len(points)
         hit_flags: List[bool] = [False] * len(points)
         errors: List[Optional[str]] = [None] * len(points)
+        diags: List[Optional[Dict[str, Any]]] = [None] * len(points)
         attempts: List[int] = [0] * len(points)
 
         started = time.perf_counter()
@@ -344,12 +446,12 @@ class ParallelRunner:
                     attempts[index] += 1
                     self._record(
                         index, _guarded_worker(job),
-                        results, hit_flags, errors,
+                        results, hit_flags, errors, diags,
                     )
             else:
                 self._run_rounds(
                     jobs_args, jobs, fleet,
-                    results, hit_flags, errors, attempts,
+                    results, hit_flags, errors, diags, attempts,
                 )
         finally:
             self.wall_seconds += time.perf_counter() - started
@@ -363,6 +465,7 @@ class ParallelRunner:
                         workload=point.workload.name,
                         attempts=attempts[failure_index],
                         error=errors[failure_index] or "unknown",
+                        diagnostic=diags[failure_index],
                     )
                 )
             self.last_fleet = fleet
@@ -380,9 +483,20 @@ class ParallelRunner:
             self.host_seconds += float(
                 result.extra.get("host_seconds", 0.0)
             )
-        if fleet.failures:
-            raise FleetError(fleet)
-        return results  # type: ignore[return-value]  (no Nones left)
+        outcomes = [
+            PointOutcome(
+                result=results[index],
+                error=errors[index] if results[index] is None else None,
+                diagnostic=(
+                    diags[index] if results[index] is None else None
+                ),
+                attempts=attempts[index],
+                cache_hit=bool(results[index] is not None
+                               and hit_flags[index]),
+            )
+            for index in range(len(points))
+        ]
+        return outcomes, fleet
 
     # ------------------------------------------------------------------
     # self-healing internals
@@ -392,19 +506,23 @@ class ParallelRunner:
     def _record(index: int, outcome: Tuple,
                 results: List[Optional[SimResult]],
                 hit_flags: List[bool],
-                errors: List[Optional[str]]) -> None:
+                errors: List[Optional[str]],
+                diags: List[Optional[Dict[str, Any]]]) -> None:
         if outcome[0] == "ok":
             results[index] = outcome[1]
             hit_flags[index] = outcome[2]
             errors[index] = None
+            diags[index] = None
         else:
             errors[index] = outcome[1]
+            diags[index] = outcome[2] if len(outcome) > 2 else None
 
     def _run_rounds(self, jobs_args: List[Tuple], jobs: int,
                     fleet: FleetReport,
                     results: List[Optional[SimResult]],
                     hit_flags: List[bool],
                     errors: List[Optional[str]],
+                    diags: List[Optional[Dict[str, Any]]],
                     attempts: List[int]) -> None:
         remaining = list(range(len(jobs_args)))
         for round_number in range(self.max_retries + 1):
@@ -415,7 +533,7 @@ class ParallelRunner:
                 time.sleep(self.backoff * (2 ** (round_number - 1)))
             remaining = self._one_round(
                 jobs_args, remaining, jobs, fleet,
-                results, hit_flags, errors, attempts,
+                results, hit_flags, errors, diags, attempts,
             )
         if remaining and self.serial_fallback:
             for index in remaining:
@@ -423,7 +541,7 @@ class ParallelRunner:
                 attempts[index] += 1
                 self._record(
                     index, _guarded_worker(jobs_args[index]),
-                    results, hit_flags, errors,
+                    results, hit_flags, errors, diags,
                 )
                 if results[index] is not None:
                     point = jobs_args[index][0]
@@ -434,22 +552,41 @@ class ParallelRunner:
                         "attempts": attempts[index],
                     })
 
+    def _ensure_pool(self, jobs: int,
+                     fleet: FleetReport) -> ProcessPoolExecutor:
+        """Return the persistent pool, (re)building it when needed."""
+        if self._pool is not None and self._pool_workers == jobs:
+            return self._pool
+        if self._pool is not None:
+            _kill_pool(self._pool)
+            self._pool = None
+        self._pool = ProcessPoolExecutor(max_workers=jobs)
+        self._pool_workers = jobs
+        fleet.pools += 1
+        return self._pool
+
     def _one_round(self, jobs_args: List[Tuple], remaining: List[int],
                    jobs: int, fleet: FleetReport,
                    results: List[Optional[SimResult]],
                    hit_flags: List[bool],
                    errors: List[Optional[str]],
+                   diags: List[Optional[Dict[str, Any]]],
                    attempts: List[int]) -> List[int]:
-        """Submit ``remaining`` to a fresh pool; return what's left.
+        """Submit ``remaining`` to a pool; return what's left.
 
         Ends early (killing the pool) on the first timeout or worker
         crash; results that finished before the incident are harvested
-        so their work is not repeated.
+        so their work is not repeated.  With ``reuse_pool`` the warm
+        persistent pool is used (and discarded only when broken);
+        otherwise each round builds and drains its own.
         """
-        pool = ProcessPoolExecutor(
-            max_workers=min(jobs, len(remaining))
-        )
-        fleet.pools += 1
+        if self.reuse_pool:
+            pool = self._ensure_pool(jobs, fleet)
+        else:
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(remaining))
+            )
+            fleet.pools += 1
         futures = {}
         for index in remaining:
             futures[index] = pool.submit(_guarded_worker, jobs_args[index])
@@ -480,12 +617,15 @@ class ParallelRunner:
                     broken = True
                 else:
                     self._record(index, outcome,
-                                 results, hit_flags, errors)
+                                 results, hit_flags, errors, diags)
         finally:
             if broken:
-                self._harvest(futures, results, hit_flags, errors)
+                self._harvest(futures, results, hit_flags, errors, diags)
                 _kill_pool(pool)
-            else:
+                if self.reuse_pool:
+                    self._pool = None
+                    self._pool_workers = 0
+            elif not self.reuse_pool:
                 pool.shutdown()
         leftovers = [index for index in remaining
                      if results[index] is None]
@@ -497,7 +637,8 @@ class ParallelRunner:
     def _harvest(self, futures: Dict[int, Any],
                  results: List[Optional[SimResult]],
                  hit_flags: List[bool],
-                 errors: List[Optional[str]]) -> None:
+                 errors: List[Optional[str]],
+                 diags: List[Optional[Dict[str, Any]]]) -> None:
         """Collect results that completed before the pool broke."""
         for index, future in futures.items():
             if results[index] is not None or not future.done():
@@ -506,7 +647,7 @@ class ParallelRunner:
                 outcome = future.result(timeout=0)
             except Exception:  # broken/cancelled future
                 continue
-            self._record(index, outcome, results, hit_flags, errors)
+            self._record(index, outcome, results, hit_flags, errors, diags)
 
 
 def run_suite_parallel(

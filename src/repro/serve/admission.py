@@ -1,0 +1,177 @@
+"""Admission control for the simulation service.
+
+The serving layer applies the queuing lesson of the source material one
+level up from the issue queue: a shared bounded buffer between arrivals
+(HTTP requests) and servers (pool workers), with explicit backpressure
+when occupancy hits the bound -- the RUU bounds its shared queue in
+hardware; the service bounds its admission queue and says *429 + Retry-
+After* instead of stalling the pipe.
+
+Three small, independently testable pieces:
+
+* :class:`AdmissionController` -- a counting bound over *pending*
+  points (queued + in flight).  All-or-nothing acquisition keeps batch
+  admission atomic: a batch is either fully admitted or rejected whole,
+  never half-queued.  Tracks an EWMA of per-point service time to give
+  rejected clients an honest ``Retry-After`` estimate.
+* :class:`Coalescer` -- deduplicates identical in-flight simulations.
+  The identity is the result-cache content hash, so "identical" has
+  exactly the cache's meaning: same engine, program, memory image, and
+  config.  Followers attach to the leader's future and consume no
+  admission capacity -- N simultaneous requests for one point cost one
+  simulation.
+* :class:`HandoffQueue` -- the thread-safe bridge from event-loop
+  handlers to the dispatcher thread, with micro-batch draining: the
+  dispatcher blocks for the first item, then sweeps whatever else has
+  arrived (up to a cap) into the same runner fan-out.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from .protocol import SimRequest
+
+
+@dataclass
+class Ticket:
+    """One admitted point travelling from handler to dispatcher."""
+
+    request: SimRequest
+    future: "Future" = field(default_factory=Future)
+
+
+class AdmissionController:
+    """Bound the number of pending (queued or running) points.
+
+    ``capacity`` plays the role of the queue-size knob in a queuing
+    model: arrivals beyond it are refused immediately rather than
+    building unbounded latency.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._pending = 0
+        self._lock = threading.Lock()
+        #: EWMA of observed per-point service seconds (admission to
+        #: settle), seeding the Retry-After estimate.
+        self._service_ewma = 0.5
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def try_acquire(self, n: int = 1) -> bool:
+        """Atomically claim capacity for ``n`` points (all or nothing)."""
+        with self._lock:
+            if self._pending + n > self.capacity:
+                self.rejected += n
+                return False
+            self._pending += n
+            self.admitted += n
+            return True
+
+    def release(self, n: int = 1,
+                service_seconds: Optional[float] = None) -> None:
+        with self._lock:
+            self._pending = max(0, self._pending - n)
+            if service_seconds is not None and service_seconds >= 0:
+                self._service_ewma = (
+                    0.8 * self._service_ewma + 0.2 * service_seconds
+                )
+
+    def retry_after_seconds(self, jobs: int) -> int:
+        """An honest wait hint for a rejected client.
+
+        Roughly one service-time's worth of drain for the queue ahead
+        of you, spread over the worker pool; clamped to [1, 60].
+        """
+        with self._lock:
+            pending = self._pending
+            ewma = self._service_ewma
+        estimate = ewma * (pending / max(1, jobs) + 1.0)
+        return max(1, min(60, int(math.ceil(estimate))))
+
+
+class Coalescer:
+    """Map in-flight cache keys to the future that will settle them."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self.coalesced = 0
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return key in self._inflight
+
+    def lead_or_follow(self, key: str,
+                       future: "Future") -> Optional["Future"]:
+        """Register ``future`` as leader for ``key``, or return the
+        existing leader's future (follower case)."""
+        with self._lock:
+            leader = self._inflight.get(key)
+            if leader is not None:
+                self.coalesced += 1
+                return leader
+            self._inflight[key] = future
+            return None
+
+    def settle(self, key: str) -> None:
+        """Drop the in-flight entry (before resolving the future, so a
+        late follower attaches to the cache, not a stale future)."""
+        with self._lock:
+            self._inflight.pop(key, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+
+class HandoffQueue:
+    """Thread-safe FIFO with blocking micro-batch draining."""
+
+    def __init__(self) -> None:
+        self._items: Deque[Ticket] = deque()
+        self._cv = threading.Condition()
+        self._closed = False
+
+    def put(self, tickets: List[Ticket]) -> None:
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            self._items.extend(tickets)
+            self._cv.notify()
+
+    def get_batch(self, max_items: int) -> List[Ticket]:
+        """Block until work or close; drain up to ``max_items``.
+
+        Returns an empty list only when the queue is closed and fully
+        drained -- the dispatcher's exit signal.
+        """
+        with self._cv:
+            while not self._items and not self._closed:
+                self._cv.wait()
+            batch: List[Ticket] = []
+            while self._items and len(batch) < max_items:
+                batch.append(self._items.popleft())
+            return batch
+
+    def close(self) -> None:
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+    def __len__(self) -> int:
+        with self._cv:
+            return len(self._items)

@@ -1,0 +1,386 @@
+"""Load generator and acceptance harness for the simulation service.
+
+``repro loadbench`` drives a running (or self-spawned) server through
+five phases modelled on an inference-serving benchmark:
+
+1. **warmup**   -- a handful of requests to page in workers;
+2. **cold**     -- a sweep of unique points, each simulated for real;
+3. **warm**     -- the same sweep again, now answered from the shared
+   result cache (this pair yields the warm/cold speedup gate);
+4. **scale**    -- closed-loop concurrency sweep at rising client
+   counts;
+5. **burst**    -- an over-capacity salvo of *unique* points (unique so
+   the coalescer cannot absorb them) that must provoke HTTP 429
+   backpressure, which the clients then retry to success.
+
+Afterwards it checks one point's served bytes against a serial
+in-process run (:func:`repro.analysis.parallel.run_point`) -- the
+byte-identity contract -- and writes ``BENCH_serve.json``.
+
+Gates (all must hold for exit code 0):
+
+* total requests >= 200;
+* zero 5xx responses anywhere;
+* at least one 429 during the burst, and every burst request
+  eventually succeeded on retry;
+* warm-phase throughput >= 5x cold-phase throughput;
+* byte-identical served vs serial result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..analysis.parallel import run_point
+from .client import Backpressure, ServeClient, ServeError
+from .protocol import canonical_result_bytes, wire_to_result
+
+LOADBENCH_SCHEMA = 1
+
+#: Workloads x window sizes making up the cold/warm sweep.  6 x 3 = 18
+#: unique cache points; every other phase reuses this catalogue.
+SWEEP_WORKLOADS = ("LLL1", "LLL2", "LLL3", "LLL5", "LLL7", "LLL12")
+SWEEP_WINDOWS = (4, 8, 12)
+
+#: The probe point for the byte-identity check.
+IDENTITY_REQUEST = {"workload": "LLL3", "config": {"window_size": 8}}
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class PhaseStats:
+    """Aggregated outcome of one load phase."""
+
+    name: str
+    requests: int = 0
+    ok: int = 0
+    errors: int = 0
+    server_errors: int = 0   # any 5xx
+    backpressure: int = 0    # 429 responses observed
+    retries: int = 0         # attempts beyond the first
+    cache_hits: int = 0
+    seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    #: Concurrent clients record into one PhaseStats; every mutation
+    #: in ``LoadGenerator._fire`` happens under this lock.
+    lock: threading.Lock = field(default_factory=threading.Lock,
+                                 repr=False, compare=False)
+
+    @property
+    def throughput(self) -> float:
+        return self.requests / self.seconds if self.seconds > 0 else 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "server_errors": self.server_errors,
+            "backpressure_429": self.backpressure,
+            "retries": self.retries,
+            "cache_hits": self.cache_hits,
+            "seconds": round(self.seconds, 4),
+            "throughput_rps": round(self.throughput, 2),
+            "latency_p50_ms": round(
+                _percentile(self.latencies, 0.50) * 1000, 3),
+            "latency_p95_ms": round(
+                _percentile(self.latencies, 0.95) * 1000, 3),
+            "latency_p99_ms": round(
+                _percentile(self.latencies, 0.99) * 1000, 3),
+        }
+
+
+class LoadGenerator:
+    """Drives the phases against one server and applies the gates."""
+
+    def __init__(self, host: str, port: int,
+                 request_timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.phases: List[PhaseStats] = []
+
+    def _client(self) -> ServeClient:
+        return ServeClient(self.host, self.port,
+                           timeout=self.request_timeout)
+
+    def _sweep_requests(self) -> List[Dict[str, Any]]:
+        return [
+            {"workload": name, "config": {"window_size": window},
+             "label": f"sweep-{name}-w{window}"}
+            for name in SWEEP_WORKLOADS
+            for window in SWEEP_WINDOWS
+        ]
+
+    # ------------------------------------------------------------------
+    # one measured request
+    # ------------------------------------------------------------------
+
+    def _fire(self, stats: PhaseStats, request: Dict[str, Any],
+              max_attempts: int = 1) -> Optional[Dict[str, Any]]:
+        """One request from a fresh client; records into ``stats``."""
+        client = self._client()
+        attempt = 0
+        started = time.perf_counter()
+        while True:
+            attempt += 1
+            if attempt > 1:
+                with stats.lock:
+                    stats.retries += 1
+            try:
+                body = client.run_raw(request, max_attempts=1)
+            except Backpressure as busy:
+                with stats.lock:
+                    stats.backpressure += 1
+                if attempt < max_attempts:
+                    time.sleep(min(2.0, float(busy.retry_after)))
+                    continue
+                with stats.lock:
+                    stats.requests += 1
+                    stats.errors += 1
+                    stats.latencies.append(
+                        time.perf_counter() - started)
+                return None
+            except ServeError as exc:
+                with stats.lock:
+                    stats.requests += 1
+                    stats.errors += 1
+                    if exc.status >= 500:
+                        stats.server_errors += 1
+                    stats.latencies.append(
+                        time.perf_counter() - started)
+                return None
+            with stats.lock:
+                stats.requests += 1
+                stats.ok += 1
+                if body.get("cache_hit"):
+                    stats.cache_hits += 1
+                stats.latencies.append(time.perf_counter() - started)
+            return body
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+
+    def _timed_phase(self, name: str, thunks: List,
+                     workers: int) -> PhaseStats:
+        stats = PhaseStats(name=name)
+        started = time.perf_counter()
+        if workers <= 1:
+            for thunk in thunks:
+                thunk(stats)
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(thunk, stats) for thunk in thunks]
+                for future in futures:
+                    future.result()
+        stats.seconds = time.perf_counter() - started
+        self.phases.append(stats)
+        return stats
+
+    def run_warmup(self) -> PhaseStats:
+        requests = self._sweep_requests()[:4]
+        return self._timed_phase(
+            "warmup",
+            [lambda s, r=req: self._fire(s, r, max_attempts=8)
+             for req in requests],
+            workers=2,
+        )
+
+    def run_cold_sweep(self) -> PhaseStats:
+        return self._timed_phase(
+            "cold_sweep",
+            [lambda s, r=req: self._fire(s, r, max_attempts=8)
+             for req in self._sweep_requests()],
+            workers=4,
+        )
+
+    def run_warm_sweep(self, repeats: int = 3) -> PhaseStats:
+        requests = self._sweep_requests() * repeats
+        return self._timed_phase(
+            "warm_sweep",
+            [lambda s, r=req: self._fire(s, r, max_attempts=8)
+             for req in requests],
+            workers=4,
+        )
+
+    def run_scale_sweep(self,
+                        levels: tuple = (1, 2, 4, 8),
+                        per_level: int = 30) -> List[PhaseStats]:
+        out = []
+        sweep = self._sweep_requests()
+        for level in levels:
+            requests = [sweep[i % len(sweep)] for i in range(per_level)]
+            out.append(self._timed_phase(
+                f"scale_c{level}",
+                [lambda s, r=req: self._fire(s, r, max_attempts=8)
+                 for req in requests],
+                workers=level,
+            ))
+        return out
+
+    def run_burst(self, salvo: int = 48) -> PhaseStats:
+        """Over-capacity salvo of unique points.
+
+        Unique ``max_cycles`` values give every request a distinct
+        cache key, so neither the cache nor the coalescer can absorb
+        the salvo -- it must hit admission control.  Every client
+        retries on 429 until it succeeds (bounded attempts).
+        """
+        requests = [
+            {"workload": "LLL2",
+             "config": {"window_size": 4,
+                        "max_cycles": 1_000_000 + i},
+             "label": f"burst-{i}"}
+            for i in range(salvo)
+        ]
+        return self._timed_phase(
+            "burst",
+            [lambda s, r=req: self._fire(s, r, max_attempts=30)
+             for req in requests],
+            workers=salvo,
+        )
+
+    # ------------------------------------------------------------------
+    # byte identity
+    # ------------------------------------------------------------------
+
+    def check_byte_identity(self) -> Dict[str, Any]:
+        """Served result vs the same point run serially in-process."""
+        from .protocol import build_workload_registry, parse_sim_request
+
+        body = self._client().run_raw(
+            dict(IDENTITY_REQUEST), max_attempts=8
+        )
+        served = wire_to_result(body["result"])
+        request = parse_sim_request(
+            dict(IDENTITY_REQUEST), build_workload_registry()
+        )
+        serial = run_point(request.point)
+        served_bytes = canonical_result_bytes(served)
+        serial_bytes = canonical_result_bytes(serial)
+        return {
+            "point": dict(IDENTITY_REQUEST),
+            "identical": served_bytes == serial_bytes,
+            "served_sha_len": len(served_bytes),
+            "serial_sha_len": len(serial_bytes),
+        }
+
+    # ------------------------------------------------------------------
+    # the full benchmark
+    # ------------------------------------------------------------------
+
+    def run_all(self) -> Dict[str, Any]:
+        self._client().wait_ready(timeout=60.0)
+        self.run_warmup()
+        cold = self.run_cold_sweep()
+        warm = self.run_warm_sweep()
+        self.run_scale_sweep()
+        burst = self.run_burst()
+        identity = self.check_byte_identity()
+        health = self._client().healthz()
+
+        total_requests = sum(p.requests for p in self.phases)
+        total_5xx = sum(p.server_errors for p in self.phases)
+        warm_speedup = (
+            warm.throughput / cold.throughput
+            if cold.throughput > 0 else 0.0
+        )
+        gates = {
+            "min_requests_200": total_requests >= 200,
+            "zero_5xx": total_5xx == 0,
+            "burst_saw_429": burst.backpressure >= 1,
+            "burst_retries_succeeded":
+                burst.ok == burst.requests and burst.requests > 0,
+            "warm_speedup_5x": warm_speedup >= 5.0,
+            "byte_identity": bool(identity["identical"]),
+        }
+        return {
+            "schema": LOADBENCH_SCHEMA,
+            "target": f"{self.host}:{self.port}",
+            "server": {
+                "version": health.get("version"),
+                "jobs": health.get("jobs"),
+                "capacity": health.get("capacity"),
+            },
+            "phases": [p.to_json() for p in self.phases],
+            "totals": {
+                "requests": total_requests,
+                "ok": sum(p.ok for p in self.phases),
+                "errors": sum(p.errors for p in self.phases),
+                "server_errors_5xx": total_5xx,
+                "backpressure_429":
+                    sum(p.backpressure for p in self.phases),
+                "retries": sum(p.retries for p in self.phases),
+                "cache_hits": sum(p.cache_hits for p in self.phases),
+                "warm_over_cold_throughput": round(warm_speedup, 2),
+            },
+            "byte_identity": identity,
+            "gates": gates,
+            "passed": all(gates.values()),
+        }
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a loadbench report."""
+    lines = [
+        f"repro loadbench against {report['target']} "
+        f"(server {report['server']['version']}, "
+        f"jobs={report['server']['jobs']}, "
+        f"capacity={report['server']['capacity']})",
+        "",
+        f"{'phase':<12} {'req':>5} {'ok':>5} {'429':>5} "
+        f"{'rps':>8} {'p50ms':>8} {'p95ms':>8} {'p99ms':>8}",
+    ]
+    for phase in report["phases"]:
+        lines.append(
+            f"{phase['name']:<12} {phase['requests']:>5} "
+            f"{phase['ok']:>5} {phase['backpressure_429']:>5} "
+            f"{phase['throughput_rps']:>8.1f} "
+            f"{phase['latency_p50_ms']:>8.1f} "
+            f"{phase['latency_p95_ms']:>8.1f} "
+            f"{phase['latency_p99_ms']:>8.1f}"
+        )
+    totals = report["totals"]
+    lines += [
+        "",
+        f"totals: {totals['requests']} requests, "
+        f"{totals['ok']} ok, {totals['server_errors_5xx']} 5xx, "
+        f"{totals['backpressure_429']} backpressured, "
+        f"{totals['cache_hits']} cache hits",
+        f"warm/cold throughput: "
+        f"{totals['warm_over_cold_throughput']}x",
+        f"byte identity: "
+        f"{'OK' if report['byte_identity']['identical'] else 'MISMATCH'}",
+        "",
+        "gates:",
+    ]
+    for gate, passed in sorted(report["gates"].items()):
+        lines.append(f"  {'PASS' if passed else 'FAIL'}  {gate}")
+    lines.append(
+        "RESULT: " + ("PASS" if report["passed"] else "FAIL")
+    )
+    return "\n".join(lines)
+
+
+def write_report_json(report: Dict[str, Any], path: str) -> None:
+    """Atomic write (the bench convention: tmp + rename)."""
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)

@@ -1,0 +1,302 @@
+"""The simulation service's engine room.
+
+:class:`SimService` connects the front-end protocol to the PR-3 fleet
+machinery, shaped like an inference server's dynamic batcher:
+
+1. **Admit** -- a validated :class:`~repro.serve.protocol.SimRequest`
+   either coalesces onto an identical in-flight point (free), claims
+   one slot of bounded admission capacity, or is refused with an
+   honest retry hint (:class:`ServiceBusy` -> HTTP 429).
+2. **Batch** -- a dispatcher thread drains whatever has arrived into a
+   micro-batch and fans it out on one long-lived, self-healing
+   :class:`~repro.analysis.parallel.ParallelRunner` (``reuse_pool``:
+   warm workers, shared on-disk result cache, per-point timeout-kill,
+   crash retry -- and ``serial_fallback`` off, so a wedged point can
+   never hijack the dispatcher thread itself).
+3. **Settle** -- per-point
+   :class:`~repro.analysis.parallel.PointOutcome` verdicts resolve the
+   waiting futures; a deadlocked program surfaces its
+   :class:`~repro.machine.diagnostics.EngineDiagnostic` instead of
+   poisoning the batch.
+
+Every transition feeds the metrics registry, so ``/metrics`` shows the
+queue the way Carroll & Lin's model would want to see it: arrival
+counts, occupancy, service latency, and saturation (rejections).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.parallel import ParallelRunner, PointOutcome
+from .admission import AdmissionController, Coalescer, HandoffQueue, Ticket
+from .metrics import MetricsRegistry
+from .protocol import SimRequest, build_workload_registry
+
+
+class ServiceBusy(Exception):
+    """Admission capacity exhausted; carries the Retry-After hint."""
+
+    def __init__(self, retry_after: int) -> None:
+        super().__init__(
+            f"admission queue full; retry after ~{retry_after}s"
+        )
+        self.retry_after = retry_after
+
+
+class ServiceDraining(Exception):
+    """The service is shutting down and admits no new work."""
+
+
+class SimService:
+    """Bounded, coalescing, self-healing simulation execution."""
+
+    def __init__(self,
+                 jobs: int = 2,
+                 queue_depth: int = 32,
+                 cache_dir: Optional[str] = None,
+                 point_timeout: Optional[float] = 120.0,
+                 max_retries: int = 1,
+                 registry: Optional[MetricsRegistry] = None,
+                 batch_max: Optional[int] = None) -> None:
+        self.jobs = max(1, jobs)
+        self.queue_depth = queue_depth
+        self.workloads = build_workload_registry()
+        self.runner = ParallelRunner(
+            jobs=self.jobs,
+            cache_dir=cache_dir,
+            timeout=point_timeout,
+            max_retries=max_retries,
+            serial_fallback=False,
+            reuse_pool=(self.jobs > 1),
+        )
+        self.admission = AdmissionController(queue_depth)
+        self.coalescer = Coalescer()
+        self.queue = HandoffQueue()
+        #: One micro-batch is at most this many points; a couple of
+        #: rounds per pool keeps batches short (latency) while filling
+        #: every worker (throughput).
+        self.batch_max = batch_max or max(1, self.jobs * 2)
+        self._submit_lock = threading.Lock()
+        self._draining = False
+        self._in_flight = 0
+        self._started = time.time()
+        self._thread: Optional[threading.Thread] = None
+
+        registry = registry or MetricsRegistry()
+        self.metrics = registry
+        self._m_points = registry.counter(
+            "repro_serve_points_total",
+            "Simulation points settled, by status",
+            ("status",),
+        )
+        self._m_cache_hits = registry.counter(
+            "repro_serve_cache_hits_total",
+            "Points served from the shared result cache",
+        )
+        self._m_cache_misses = registry.counter(
+            "repro_serve_cache_misses_total",
+            "Points that had to be simulated",
+        )
+        self._m_coalesced = registry.counter(
+            "repro_serve_coalesced_total",
+            "Requests coalesced onto an identical in-flight point",
+        )
+        self._m_rejected = registry.counter(
+            "repro_serve_admission_rejected_total",
+            "Points refused because the admission queue was full",
+        )
+        self._m_batches = registry.counter(
+            "repro_serve_batches_total",
+            "Micro-batches dispatched to the runner pool",
+        )
+        self._m_queue_depth = registry.gauge(
+            "repro_serve_queue_depth",
+            "Points waiting for the dispatcher",
+        )
+        self._m_inflight = registry.gauge(
+            "repro_serve_inflight",
+            "Points currently executing on the pool",
+        )
+        self._m_point_seconds = registry.histogram(
+            "repro_serve_point_seconds",
+            "Per-point service time (batch wall time / batch size)",
+        )
+        self._m_fleet = registry.gauge(
+            "repro_serve_fleet_events",
+            "Cumulative self-healing fleet counters",
+            ("kind",),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def drain(self, timeout: Optional[float] = 60.0) -> bool:
+        """Stop admitting, finish queued work, release the pool.
+
+        Returns True when the dispatcher fully drained in time.
+        """
+        with self._submit_lock:
+            self._draining = True
+        self.queue.close()
+        drained = True
+        if self._thread is not None:
+            self._thread.join(timeout)
+            drained = not self._thread.is_alive()
+        # A clean drain joins the idle workers; a timed-out one kills
+        # the pool rather than blocking shutdown on a wedged point.
+        self.runner.close(wait=drained)
+        return drained
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # submission (event-loop side; must never block)
+    # ------------------------------------------------------------------
+
+    def submit(self, request: SimRequest) -> Tuple["Future", bool]:
+        """Admit one request; returns ``(future, coalesced)``.
+
+        Raises :class:`ServiceBusy` when the queue is full and
+        :class:`ServiceDraining` during shutdown.
+        """
+        futures = self.submit_many([request])
+        return futures[0]
+
+    def submit_many(self,
+                    requests: List[SimRequest]
+                    ) -> List[Tuple["Future", bool]]:
+        """Admit a batch atomically: fully admitted or rejected whole.
+
+        Coalesced items (identical to an in-flight point, or duplicates
+        within the batch) consume no capacity.
+        """
+        with self._submit_lock:
+            if self._draining:
+                raise ServiceDraining("service is draining")
+            fresh_keys = set()
+            for request in requests:
+                if request.key in fresh_keys \
+                        or self.coalescer.contains(request.key):
+                    continue
+                fresh_keys.add(request.key)
+            if fresh_keys and not self.admission.try_acquire(
+                    len(fresh_keys)):
+                self._m_rejected.inc(len(fresh_keys))
+                raise ServiceBusy(
+                    self.admission.retry_after_seconds(self.jobs)
+                )
+            out: List[Tuple["Future", bool]] = []
+            tickets: List[Ticket] = []
+            for request in requests:
+                future: "Future" = Future()
+                leader = self.coalescer.lead_or_follow(
+                    request.key, future
+                )
+                if leader is None:
+                    tickets.append(Ticket(request, future))
+                    out.append((future, False))
+                else:
+                    self._m_coalesced.inc()
+                    out.append((leader, True))
+            if tickets:
+                self.queue.put(tickets)
+        self._m_queue_depth.set(len(self.queue))
+        return out
+
+    # ------------------------------------------------------------------
+    # dispatcher (its own thread; the only caller of the runner)
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self.queue.get_batch(self.batch_max)
+            if not batch:
+                return
+            self._in_flight = len(batch)
+            self._m_inflight.set(len(batch))
+            self._m_queue_depth.set(len(self.queue))
+            self._m_batches.inc()
+            started = time.perf_counter()
+            try:
+                outcomes = self.runner.run_points_settled(
+                    [ticket.request.point for ticket in batch]
+                )
+            except Exception as exc:  # noqa: BLE001 - defensive: the
+                # settled API should never raise; fail the batch's
+                # futures rather than silently killing the dispatcher.
+                outcomes = [
+                    PointOutcome(result=None,
+                                 error=f"{type(exc).__name__}: {exc}")
+                    for _ in batch
+                ]
+            wall = time.perf_counter() - started
+            per_point = wall / len(batch)
+            for ticket, outcome in zip(batch, outcomes):
+                with self._submit_lock:
+                    self.coalescer.settle(ticket.request.key)
+                self.admission.release(1, service_seconds=per_point)
+                self._m_point_seconds.observe(per_point)
+                if outcome is not None and outcome.ok:
+                    self._m_points.inc(status="ok")
+                    if outcome.cache_hit:
+                        self._m_cache_hits.inc()
+                    else:
+                        self._m_cache_misses.inc()
+                else:
+                    self._m_points.inc(status="error")
+                outcome = outcome if outcome is not None else \
+                    PointOutcome(result=None, error="no outcome")
+                ticket.future.set_result(outcome)
+            self._in_flight = 0
+            self._m_inflight.set(0)
+            self.sync_fleet_metrics()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def sync_fleet_metrics(self) -> None:
+        """Mirror the runner's cumulative FleetReport into gauges."""
+        fleet = self.runner.fleet
+        for kind, value in (
+            ("submissions", fleet.submissions),
+            ("retries", fleet.retries),
+            ("timeouts", fleet.timeouts),
+            ("crashes", fleet.crashes),
+            ("pools", fleet.pools),
+            ("degraded", len(fleet.degraded)),
+            ("failures", len(fleet.failures)),
+        ):
+            self._m_fleet.set(value, kind=kind)
+
+    def health(self) -> Dict[str, object]:
+        """The ``/healthz`` snapshot (version added by the server)."""
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "jobs": self.jobs,
+            "queue_depth": len(self.queue),
+            "in_flight": self._in_flight,
+            "pending": self.admission.pending,
+            "capacity": self.admission.capacity,
+            "cache_hits": self.runner.hits,
+            "cache_misses": self.runner.misses,
+            "points_run": self.runner.points_run,
+            "workloads": sorted(self.workloads),
+        }

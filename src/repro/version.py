@@ -1,0 +1,51 @@
+"""Package version, resolvable with or without an installed dist.
+
+``repro --version`` and the serving layer's ``/healthz`` endpoint both
+report the package version.  The repository is routinely run straight
+from a source checkout (``PYTHONPATH=src``), where no installed
+distribution exists, so resolution falls back from
+``importlib.metadata`` to parsing the adjacent ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+_FALLBACK = "0.0.0+unknown"
+
+
+def _from_metadata() -> str | None:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - py<3.8 only
+        return None
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return None
+
+
+def _from_pyproject() -> str | None:
+    """Parse ``version = "..."`` from the source tree's pyproject.toml.
+
+    A regex, not a TOML parser: ``tomllib`` only exists on 3.11+ and
+    the repository supports 3.9.  The ``[project]`` table's ``version``
+    key is the first such assignment in the file.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    pyproject = os.path.join(here, os.pardir, os.pardir, "pyproject.toml")
+    try:
+        with open(pyproject) as handle:
+            text = handle.read()
+    except OSError:
+        return None
+    match = re.search(
+        r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE
+    )
+    return match.group(1) if match else None
+
+
+def get_version() -> str:
+    """The package version string (never raises)."""
+    return _from_metadata() or _from_pyproject() or _FALLBACK

@@ -38,6 +38,34 @@ class TestRunCommand:
     def test_window_flag(self, asm_file):
         assert main(["run", asm_file, "--window", "4"]) == 0
 
+    def test_timeline_flag_prints_gantt(self, asm_file, capsys):
+        assert main(["run", asm_file, "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "D=decode I=issue X=dispatch C=complete R=commit" in out
+        assert "average stage delays" in out
+        assert "cycles 0.." in out
+
+    def test_no_timeline_by_default(self, asm_file, capsys):
+        assert main(["run", asm_file]) == 0
+        assert "D=decode" not in capsys.readouterr().out
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+    def test_version_matches_package(self, capsys):
+        from repro.version import get_version
+
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert get_version() in capsys.readouterr().out
+
 
 class TestLoopsCommand:
     def test_lists_all_fourteen(self, capsys):
@@ -63,3 +91,9 @@ class TestArgErrors:
     def test_unknown_engine(self, asm_file):
         with pytest.raises(SystemExit):
             main(["run", asm_file, "--engine", "nope"])
+
+
+class TestLoadbenchArgs:
+    def test_attach_requires_a_port(self, capsys):
+        assert main(["loadbench"]) == 2
+        assert "--port" in capsys.readouterr().out

@@ -193,3 +193,127 @@ class TestBench:
         assert payload["identical_to_serial"] is True
         assert payload["cache"]["hit_rate"] == 1.0
         assert payload["jobs"] == 2
+
+
+class TestSettledOutcomes:
+    """run_points_settled: per-point verdicts instead of FleetError.
+
+    The serving layer depends on these semantics -- a failing point in
+    a micro-batch must settle its own future and leave the others'
+    results intact.
+    """
+
+    @staticmethod
+    def _hang_workload():
+        from repro.isa import assemble
+        from repro.machine import Memory
+        from repro.workloads.base import Workload
+
+        source = (
+            "A_IMM A0, 1\n"
+            "loop:\n"
+            "A_ADDI A0, A0, 0\n"
+            "BR_NONZERO A0, loop\n"
+            "HALT\n"
+        )
+        return Workload(
+            name="hang", program=assemble(source, "hang"),
+            initial_memory=Memory(),
+        )
+
+    def test_mixed_batch_settles_per_point(self, quick_loops):
+        config = MachineConfig(window_size=8, max_cycles=2000)
+        points = [
+            SimPoint("ruu-bypass", quick_loops[0], config),
+            SimPoint("ruu-bypass", self._hang_workload(), config),
+            SimPoint("ruu-bypass", quick_loops[1], config),
+        ]
+        runner = ParallelRunner(jobs=2, serial_fallback=False)
+        outcomes = runner.run_points_settled(points)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[0].result.cycles > 0
+        assert "DeadlockError" in outcomes[1].error
+        assert outcomes[1].result is None
+
+    def test_failed_point_carries_engine_diagnostic(self):
+        config = MachineConfig(window_size=8, max_cycles=2000)
+        runner = ParallelRunner(jobs=2, serial_fallback=False)
+        outcomes = runner.run_points_settled(
+            [SimPoint("ruu-bypass", self._hang_workload(), config)]
+        )
+        diagnostic = outcomes[0].diagnostic
+        assert diagnostic is not None
+        assert diagnostic["cycle"] > 0
+        assert diagnostic["engine"]
+        assert "workload" in diagnostic
+
+    def test_settled_matches_run_points_on_success(self, quick_loops):
+        points = [SimPoint("rstu", w, CONFIG) for w in quick_loops[:3]]
+        settled = ParallelRunner(jobs=2).run_points_settled(points)
+        raised = ParallelRunner(jobs=2).run_points(points)
+        assert [o.result.cycles for o in settled] == \
+            [r.cycles for r in raised]
+
+    def test_run_points_still_raises_on_failure(self, quick_loops):
+        from repro.analysis.parallel import FleetError
+
+        config = MachineConfig(window_size=8, max_cycles=2000)
+        runner = ParallelRunner(jobs=2, serial_fallback=False)
+        with pytest.raises(FleetError):
+            runner.run_points(
+                [SimPoint("ruu-bypass", self._hang_workload(), config)]
+            )
+
+    def test_settled_reports_cache_hits(self, quick_loops, tmp_path):
+        runner = ParallelRunner(jobs=2, cache_dir=str(tmp_path))
+        points = [SimPoint("rstu", w, CONFIG) for w in quick_loops[:2]]
+        cold = runner.run_points_settled(points)
+        warm = runner.run_points_settled(points)
+        assert not any(o.cache_hit for o in cold)
+        assert all(o.cache_hit for o in warm)
+
+
+class TestPoolReuse:
+    """reuse_pool=True keeps one warm executor across calls."""
+
+    def test_one_pool_across_many_calls(self, quick_loops):
+        runner = ParallelRunner(jobs=2, reuse_pool=True)
+        try:
+            for _ in range(3):
+                runner.run_points(
+                    [SimPoint("rstu", w, CONFIG)
+                     for w in quick_loops[:2]]
+                )
+            assert runner.fleet.pools == 1
+            assert runner.points_run == 6
+        finally:
+            runner.close()
+
+    def test_fresh_pool_per_round_without_reuse(self, quick_loops):
+        runner = ParallelRunner(jobs=2)
+        runner.run_points(
+            [SimPoint("rstu", w, CONFIG) for w in quick_loops[:2]]
+        )
+        runner.run_points(
+            [SimPoint("rstu", w, CONFIG) for w in quick_loops[:2]]
+        )
+        assert runner.fleet.pools == 2
+
+    def test_reused_results_identical_to_serial(self, quick_loops):
+        points = [SimPoint("ruu-bypass", w, CONFIG)
+                  for w in quick_loops[:3]]
+        serial = [run_point(p) for p in points]
+        with ParallelRunner(jobs=2, reuse_pool=True) as runner:
+            warm = runner.run_points(points)
+        assert [r.cycles for r in warm] == [r.cycles for r in serial]
+
+    def test_close_is_idempotent(self):
+        runner = ParallelRunner(jobs=2, reuse_pool=True)
+        runner.run_points(healthy_points_for_reuse())
+        runner.close()
+        runner.close()
+
+
+def healthy_points_for_reuse():
+    loops = SUITES["quick"]()
+    return [SimPoint("simple", w, CONFIG) for w in loops[:2]]

@@ -1,0 +1,186 @@
+"""Admission control primitives: bound, coalescer, handoff queue.
+
+These are the service's concurrency kernel, so the tests hammer the
+atomicity properties directly: all-or-nothing batch acquisition, the
+lead-or-follow race, and the close-while-waiting handshake of the
+dispatcher queue.
+"""
+
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionController,
+    Coalescer,
+    HandoffQueue,
+    Ticket,
+)
+from repro.serve.protocol import build_workload_registry, parse_sim_request
+
+WORKLOADS = build_workload_registry()
+
+
+def _request(window=8):
+    return parse_sim_request(
+        {"workload": "LLL1", "config": {"window_size": window}},
+        WORKLOADS,
+    )
+
+
+class TestAdmissionController:
+    def test_bound_is_enforced(self):
+        admission = AdmissionController(capacity=3)
+        assert admission.try_acquire(2)
+        assert admission.try_acquire(1)
+        assert not admission.try_acquire(1)
+        admission.release(1)
+        assert admission.try_acquire(1)
+
+    def test_batch_acquisition_is_all_or_nothing(self):
+        admission = AdmissionController(capacity=3)
+        assert admission.try_acquire(2)
+        assert not admission.try_acquire(2)  # 2+2 > 3: nothing taken
+        assert admission.pending == 2
+        assert admission.try_acquire(1)
+
+    def test_counters(self):
+        admission = AdmissionController(capacity=1)
+        admission.try_acquire(1)
+        admission.try_acquire(1)
+        assert admission.admitted == 1
+        assert admission.rejected == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)
+
+    def test_retry_after_grows_with_queue(self):
+        admission = AdmissionController(capacity=100)
+        quiet = admission.retry_after_seconds(jobs=2)
+        admission.try_acquire(50)
+        for _ in range(5):  # teach the EWMA a 2s service time
+            admission.release(0, service_seconds=2.0)
+        admission.try_acquire(0)
+        busy = admission.retry_after_seconds(jobs=2)
+        assert busy > quiet
+        assert 1 <= busy <= 60
+
+    def test_retry_after_is_clamped(self):
+        admission = AdmissionController(capacity=1000)
+        admission.try_acquire(1000)
+        for _ in range(20):
+            admission.release(0, service_seconds=100.0)
+        admission.try_acquire(0)
+        assert admission.retry_after_seconds(jobs=1) == 60
+
+    def test_concurrent_acquire_never_oversubscribes(self):
+        admission = AdmissionController(capacity=10)
+        granted = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(20)
+
+        def claim():
+            barrier.wait()
+            if admission.try_acquire(1):
+                with lock:
+                    granted.append(1)
+
+        threads = [threading.Thread(target=claim) for _ in range(20)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(granted) == 10
+        assert admission.pending == 10
+
+
+class TestCoalescer:
+    def test_leader_then_followers(self):
+        coalescer = Coalescer()
+        key = _request().key
+        leader_future = Future()
+        assert coalescer.lead_or_follow(key, leader_future) is None
+        follower = coalescer.lead_or_follow(key, Future())
+        assert follower is leader_future
+        assert coalescer.coalesced == 1
+        assert coalescer.contains(key)
+        assert len(coalescer) == 1
+
+    def test_settle_frees_the_key(self):
+        coalescer = Coalescer()
+        key = _request().key
+        coalescer.lead_or_follow(key, Future())
+        coalescer.settle(key)
+        assert not coalescer.contains(key)
+        # the next arrival leads again
+        assert coalescer.lead_or_follow(key, Future()) is None
+
+    def test_distinct_keys_do_not_coalesce(self):
+        coalescer = Coalescer()
+        a, b = _request(8), _request(4)
+        assert a.key != b.key
+        assert coalescer.lead_or_follow(a.key, Future()) is None
+        assert coalescer.lead_or_follow(b.key, Future()) is None
+        assert coalescer.coalesced == 0
+
+    def test_exactly_one_leader_under_contention(self):
+        coalescer = Coalescer()
+        key = _request().key
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(16)
+
+        def race():
+            barrier.wait()
+            leader = coalescer.lead_or_follow(key, Future())
+            with lock:
+                outcomes.append(leader is None)
+
+        threads = [threading.Thread(target=race) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count(True) == 1
+        assert coalescer.coalesced == 15
+
+
+class TestHandoffQueue:
+    def test_fifo_micro_batching(self):
+        queue = HandoffQueue()
+        tickets = [Ticket(_request(w)) for w in (4, 6, 8, 10)]
+        queue.put(tickets[:2])
+        queue.put(tickets[2:])
+        batch = queue.get_batch(max_items=3)
+        assert batch == tickets[:3]
+        assert queue.get_batch(max_items=3) == tickets[3:]
+
+    def test_close_wakes_waiting_dispatcher(self):
+        queue = HandoffQueue()
+        got = []
+
+        def wait():
+            got.append(queue.get_batch(max_items=4))
+
+        thread = threading.Thread(target=wait)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert got == [[]]
+
+    def test_close_drains_remaining_items_first(self):
+        queue = HandoffQueue()
+        ticket = Ticket(_request())
+        queue.put([ticket])
+        queue.close()
+        assert queue.get_batch(max_items=4) == [ticket]
+        assert queue.get_batch(max_items=4) == []
+
+    def test_put_after_close_raises(self):
+        queue = HandoffQueue()
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.put([Ticket(_request())])

@@ -1,0 +1,131 @@
+"""Load-generator machinery: stats, gates, report rendering.
+
+The full acceptance sweep (``repro loadbench``) runs in CI's smoke-load
+job; here we pin the pieces it is built from -- percentile math, the
+thread-safe phase accounting, gate evaluation, the report format, and
+the atomic JSON write -- plus one miniature live phase against a real
+server to keep the wiring honest.
+"""
+
+import json
+
+import pytest
+
+from repro.serve.loadgen import (
+    LoadGenerator,
+    PhaseStats,
+    _percentile,
+    format_report,
+    write_report_json,
+)
+from repro.serve.server import serve_in_background
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert _percentile([7.0], 0.99) == 7.0
+
+    def test_order_does_not_matter(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert _percentile(samples, 0.5) == 3.0
+        assert _percentile(samples, 0.0) == 1.0
+        assert _percentile(samples, 1.0) == 5.0
+
+
+class TestPhaseStats:
+    def test_throughput(self):
+        stats = PhaseStats(name="x", requests=10, seconds=2.0)
+        assert stats.throughput == 5.0
+
+    def test_zero_time_is_zero_throughput(self):
+        assert PhaseStats(name="x", requests=10).throughput == 0.0
+
+    def test_to_json_shape(self):
+        stats = PhaseStats(name="x", requests=3, ok=2, errors=1,
+                           seconds=1.0,
+                           latencies=[0.010, 0.020, 0.030])
+        payload = stats.to_json()
+        assert payload["name"] == "x"
+        assert payload["throughput_rps"] == 3.0
+        assert payload["latency_p50_ms"] == 20.0
+        # locks and raw latencies stay out of the JSON
+        assert "lock" not in payload
+        assert "latencies" not in payload
+
+
+def _synthetic_report(passed=True):
+    phase = PhaseStats(name="cold_sweep", requests=100, ok=100,
+                       seconds=1.0, latencies=[0.01]).to_json()
+    return {
+        "schema": 1,
+        "target": "127.0.0.1:1",
+        "server": {"version": "1.0.0", "jobs": 2, "capacity": 16},
+        "phases": [phase],
+        "totals": {
+            "requests": 100, "ok": 100, "errors": 0,
+            "server_errors_5xx": 0, "backpressure_429": 3,
+            "retries": 3, "cache_hits": 50,
+            "warm_over_cold_throughput": 8.0,
+        },
+        "byte_identity": {"identical": passed},
+        "gates": {"zero_5xx": True, "byte_identity": passed},
+        "passed": passed,
+    }
+
+
+class TestReportRendering:
+    def test_format_mentions_gates_and_result(self):
+        text = format_report(_synthetic_report())
+        assert "PASS  zero_5xx" in text
+        assert "RESULT: PASS" in text
+        assert "byte identity: OK" in text
+
+    def test_failed_report_says_fail(self):
+        text = format_report(_synthetic_report(passed=False))
+        assert "FAIL  byte_identity" in text
+        assert "RESULT: FAIL" in text
+        assert "MISMATCH" in text
+
+    def test_write_is_atomic_and_loadable(self, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        write_report_json(_synthetic_report(), str(path))
+        assert not path.with_suffix(".json.tmp").exists()
+        loaded = json.loads(path.read_text())
+        assert loaded["passed"] is True
+
+
+class TestLiveMiniPhase:
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        handle = serve_in_background(
+            jobs=2, queue_depth=16,
+            cache_dir=str(tmp_path_factory.mktemp("loadgen-cache")),
+        )
+        yield handle
+        handle.stop()
+
+    def test_warmup_phase_records_requests(self, server):
+        generator = LoadGenerator("127.0.0.1", server.port)
+        generator._client().wait_ready()
+        stats = generator.run_warmup()
+        assert stats.requests == 4
+        assert stats.ok == 4
+        assert stats.server_errors == 0
+        assert len(stats.latencies) == 4
+        assert stats.throughput > 0
+
+    def test_byte_identity_check_passes_live(self, server):
+        generator = LoadGenerator("127.0.0.1", server.port)
+        identity = generator.check_byte_identity()
+        assert identity["identical"] is True
+
+    def test_sweep_catalogue_is_unique_points(self, server):
+        generator = LoadGenerator("127.0.0.1", server.port)
+        requests = generator._sweep_requests()
+        assert len(requests) == 18
+        keys = {(r["workload"], r["config"]["window_size"])
+                for r in requests}
+        assert len(keys) == 18

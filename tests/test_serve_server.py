@@ -1,0 +1,348 @@
+"""End-to-end tests of the simulation service over real HTTP.
+
+Each test talks to an in-process server (``serve_in_background``) on an
+ephemeral port through the blocking client -- the full stack: asyncio
+front end, admission control, coalescer, dispatcher thread, reused
+self-healing worker pool, shared result cache.
+
+The acceptance properties pinned here:
+
+* N simultaneous identical requests simulate **exactly once**
+  (coalescer + cache);
+* a mixed valid/invalid batch settles per item -- bad items cannot
+  poison good ones;
+* a deadlocking program returns 422 with the engine's
+  ``EngineDiagnostic`` payload in the error body;
+* over-capacity load yields 429 + Retry-After, and honoring the hint
+  succeeds;
+* a served result is byte-identical to the same point run serially
+  in-process.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis.parallel import run_point
+from repro.serve.client import Backpressure, ServeClient, ServeError
+from repro.serve.protocol import (
+    LIMITS,
+    build_workload_registry,
+    canonical_result_bytes,
+    parse_sim_request,
+    wire_to_result,
+)
+from repro.serve.server import serve_in_background
+
+#: Spins long enough to keep a worker busy while a burst piles up, but
+#: bounded so a wedged test still finishes.
+SLOW_PROGRAM = (
+    "A_IMM A0, 60000\n"
+    "loop:\n"
+    "A_ADDI A0, A0, -1\n"
+    "BR_NONZERO A0, loop\n"
+    "HALT\n"
+)
+
+#: Spins forever; only the max_cycles budget stops it (DeadlockError).
+HANG_PROGRAM = (
+    "A_IMM A0, 1\n"
+    "loop:\n"
+    "A_ADDI A0, A0, 0\n"
+    "BR_NONZERO A0, loop\n"
+    "HALT\n"
+)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("serve-cache"))
+    handle = serve_in_background(
+        jobs=2, queue_depth=16, cache_dir=cache_dir,
+        point_timeout=60.0,
+    )
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(server):
+    c = ServeClient("127.0.0.1", server.port, timeout=120.0)
+    c.wait_ready()
+    return c
+
+
+class TestSingleRun:
+    def test_workload_run_matches_serial(self, client):
+        payload = {"workload": "LLL3", "config": {"window_size": 8}}
+        served = client.run(payload, max_attempts=8)
+        request = parse_sim_request(payload, build_workload_registry())
+        serial = run_point(request.point)
+        assert canonical_result_bytes(served) \
+            == canonical_result_bytes(serial)
+
+    def test_program_run(self, client):
+        body = client.run_raw(
+            {"program": "A_IMM A0, 7\nHALT"}, max_attempts=8
+        )
+        assert body["ok"] is True
+        result = wire_to_result(body["result"])
+        # HALT is not a retired instruction; only the A_IMM counts
+        assert result.instructions == 1
+        assert result.cycles > 0
+
+    def test_repeat_is_cache_hit_and_identical(self, client):
+        payload = {"workload": "LLL1", "config": {"window_size": 6}}
+        first = client.run_raw(payload, max_attempts=8)
+        second = client.run_raw(payload, max_attempts=8)
+        assert second["cache_hit"] is True
+        a = canonical_result_bytes(wire_to_result(first["result"]))
+        b = canonical_result_bytes(wire_to_result(second["result"]))
+        assert a == b
+
+    def test_protocol_error_is_400_with_reason(self, client):
+        status, _, body = client.request_json(
+            "POST", "/run", {"workload": "LLL99"}
+        )
+        assert status == 400
+        assert body["error"]["reason"] == "unknown_workload"
+
+    def test_bad_json_is_400(self, client):
+        status, _, data = client.request("POST", "/run", None)
+        # empty body -> not valid JSON
+        assert status == 400
+        assert json.loads(data)["error"]["reason"] == "bad_json"
+
+
+class TestCoalescing:
+    def test_identical_concurrent_requests_simulate_once(self, server):
+        """Many simultaneous identical requests cost one simulation:
+        one cache miss total; everyone gets identical bytes."""
+        payload = {
+            "workload": "LLL7",
+            # unique point so earlier tests cannot have cached it
+            "config": {"window_size": 9, "max_cycles": 5_000_123},
+        }
+        misses_before = server.service.runner.misses
+        n = 8
+        outputs = [None] * n
+        barrier = threading.Barrier(n)
+
+        def fire(i):
+            c = ServeClient("127.0.0.1", server.port, timeout=120.0)
+            barrier.wait()
+            outputs[i] = c.run_raw(payload, max_attempts=8)
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(body["ok"] for body in outputs)
+        blobs = {
+            canonical_result_bytes(wire_to_result(body["result"]))
+            for body in outputs
+        }
+        assert len(blobs) == 1
+        assert server.service.runner.misses == misses_before + 1
+
+    def test_duplicates_within_a_batch_coalesce(self, client, server):
+        coalesced_before = server.service.coalescer.coalesced
+        item = {
+            "workload": "LLL9",
+            "config": {"window_size": 7, "max_cycles": 5_000_321},
+        }
+        entries = client.run_batch([item, dict(item), dict(item)],
+                                   max_attempts=8)
+        assert [e["ok"] for e in entries] == [True, True, True]
+        blobs = {
+            canonical_result_bytes(wire_to_result(e["result"]))
+            for e in entries
+        }
+        assert len(blobs) == 1
+        assert server.service.coalescer.coalesced \
+            == coalesced_before + 2
+
+
+class TestBatch:
+    def test_mixed_batch_settles_per_item(self, client):
+        entries = client.run_batch(
+            [
+                {"workload": "LLL2", "config": {"window_size": 8}},
+                {"workload": "LLL99"},
+                {"program": "BOGUS ###"},
+                {"program": "A_IMM A0, 1\nHALT"},
+            ],
+            max_attempts=8,
+        )
+        assert [e["ok"] for e in entries] == [True, False, False, True]
+        assert entries[1]["error"]["reason"] == "unknown_workload"
+        assert entries[2]["error"]["reason"] == "bad_program"
+        # the good items really ran
+        assert wire_to_result(entries[3]["result"]).instructions == 1
+
+    def test_structural_batch_errors_are_400(self, client):
+        status, _, body = client.request_json(
+            "POST", "/batch", {"requests": []}
+        )
+        assert status == 400
+        assert body["error"]["reason"] == "empty_batch"
+
+    def test_batch_size_limit_enforced(self, client):
+        requests = [{"workload": "LLL1"}] \
+            * (LIMITS["max_batch_size"] + 1)
+        status, _, body = client.request_json(
+            "POST", "/batch", {"requests": requests}
+        )
+        assert status == 400
+        assert body["error"]["reason"] == "batch_too_large"
+
+
+class TestDeadlockDiagnostic:
+    def test_hanging_program_returns_422_with_diagnostic(self, client):
+        status, _, body = client.request_json(
+            "POST", "/run",
+            {"program": HANG_PROGRAM,
+             "config": {"max_cycles": 2000}},
+        )
+        assert status == 422
+        error = body["error"]
+        assert error["reason"] == "simulation_failed"
+        assert "DeadlockError" in error["message"]
+        diagnostic = error["diagnostic"]
+        assert diagnostic["cycle"] > 0
+        assert "engine" in diagnostic
+
+    def test_deadlock_in_batch_does_not_poison_others(self, client):
+        entries = client.run_batch(
+            [
+                {"program": HANG_PROGRAM,
+                 "config": {"max_cycles": 2000}},
+                {"workload": "LLL4", "config": {"window_size": 8}},
+            ],
+            max_attempts=8,
+        )
+        assert entries[0]["ok"] is False
+        assert "diagnostic" in entries[0]["error"]
+        assert entries[1]["ok"] is True
+
+
+class TestObservability:
+    def test_healthz_reports_version_and_queue(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["version"]
+        assert health["jobs"] == 2
+        assert health["capacity"] == 16
+        assert "LLL3" in health["workloads"]
+
+    def test_metrics_exposition(self, client):
+        client.run_raw({"workload": "LLL1"}, max_attempts=8)
+        text = client.metrics_text()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert 'endpoint="/run"' in text
+        assert "# TYPE repro_serve_point_seconds histogram" in text
+        assert "repro_serve_point_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+        assert "repro_serve_queue_depth" in text
+        assert "repro_serve_fleet_events" in text
+
+    def test_unknown_path_is_404(self, client):
+        status, _, body = client.request_json("GET", "/nope")
+        assert status == 404
+        assert body["error"]["reason"] == "not_found"
+
+    def test_wrong_method_is_405(self, client):
+        status, headers, _ = client.request_json("GET", "/run")
+        assert status == 405
+        assert headers["allow"] == "POST"
+
+    def test_oversized_body_is_400(self, client):
+        padding = "x" * (LIMITS["max_body_bytes"] + 10)
+        status, _, body = client.request_json(
+            "POST", "/run", {"pad": padding}
+        )
+        assert status == 400
+        assert body["error"]["reason"] == "body_too_large"
+
+
+class TestBackpressure:
+    def test_429_with_retry_after_then_success(self, tmp_path):
+        """A one-worker, depth-2 server under a unique-point salvo must
+        refuse some requests with 429 + Retry-After; clients honoring
+        the hint all finish."""
+        handle = serve_in_background(
+            jobs=1, queue_depth=2, cache_dir=str(tmp_path),
+            point_timeout=60.0,
+        )
+        try:
+            ServeClient("127.0.0.1", handle.port).wait_ready()
+            n = 8
+            rejected = []
+            succeeded = []
+            lock = threading.Lock()
+            barrier = threading.Barrier(n)
+
+            def fire(i):
+                c = ServeClient("127.0.0.1", handle.port,
+                                timeout=120.0)
+                payload = {
+                    "program": SLOW_PROGRAM,
+                    # unique max_cycles -> unique cache key: the
+                    # coalescer cannot absorb the salvo
+                    "config": {"max_cycles": 1_000_000 + i},
+                }
+                barrier.wait()
+                try:
+                    c.run_raw(payload, max_attempts=1)
+                except Backpressure as busy:
+                    with lock:
+                        rejected.append(busy.retry_after)
+                    body = c.run_raw(payload, max_attempts=60,
+                                     backoff_cap=1.0)
+                    with lock:
+                        succeeded.append(body["ok"])
+                else:
+                    with lock:
+                        succeeded.append(True)
+
+            threads = [
+                threading.Thread(target=fire, args=(i,))
+                for i in range(n)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert rejected, "no request saw backpressure"
+            assert all(hint >= 1 for hint in rejected)
+            assert succeeded.count(True) == n
+            assert handle.service.admission.rejected >= len(rejected)
+        finally:
+            handle.stop()
+
+    def test_drained_server_refuses_with_503(self, tmp_path):
+        handle = serve_in_background(
+            jobs=1, queue_depth=4, cache_dir=str(tmp_path),
+        )
+        client = ServeClient("127.0.0.1", handle.port)
+        client.wait_ready()
+        assert handle.service.drain(timeout=30.0)
+        status, _, body = client.request_json(
+            "POST", "/run", {"workload": "LLL1"}
+        )
+        assert status == 503
+        assert body["error"]["reason"] == "draining"
+        assert client.healthz()["status"] == "draining"
+        handle.stop()
+
+
+class TestClientErrors:
+    def test_serve_error_carries_detail(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.run({"workload": "LLL99"})
+        assert excinfo.value.status == 400
+        assert excinfo.value.reason == "unknown_workload"
