@@ -37,7 +37,9 @@ guarantees the serial harness provides:
   :attr:`ParallelRunner.fleet`.
 
 ``jobs=1`` (or a single point) runs in-process with no executor, so the
-serial path stays available on one-core hosts and under profilers.
+serial path stays available on one-core hosts and under profilers --
+except with ``reuse_pool``, where even one job runs in a worker process
+so that process isolation and timeout-kill always hold.
 
 Usage::
 
@@ -326,9 +328,10 @@ class ParallelRunner:
             rebuilds the pool (the self-healing contract is unchanged);
             call :meth:`close` to release the workers.  With
             ``reuse_pool`` the per-call ``jobs`` clamp to the point
-            count is skipped so the pool keeps a stable size, and a
-            single point still runs in a worker process (isolation and
-            timeout-kill apply to it too).
+            count is skipped so the pool keeps a stable size, and both
+            a single point and ``jobs=1`` still run in a worker
+            process rather than inline (isolation and timeout-kill
+            apply to them too).
     """
 
     def __init__(self, jobs: Optional[int] = None,
@@ -440,7 +443,10 @@ class ParallelRunner:
 
         started = time.perf_counter()
         try:
-            if jobs == 1:
+            # A persistent (serve-able) runner never runs inline, even
+            # with one job: the pooled path is what provides process
+            # isolation and timeout-kill for long-lived callers.
+            if jobs == 1 and not self.reuse_pool:
                 for index, job in enumerate(jobs_args):
                     fleet.submissions += 1
                     attempts[index] += 1

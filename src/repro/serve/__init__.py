@@ -36,12 +36,18 @@ from .protocol import (
     result_to_wire,
     wire_to_result,
 )
-from .service import ServiceBusy, ServiceDraining, SimService
+from .service import (
+    BatchOverCapacity,
+    ServiceBusy,
+    ServiceDraining,
+    SimService,
+)
 from .server import ServeApp, serve_in_background
 from .client import Backpressure, ServeClient, ServeError
 
 __all__ = [
     "Backpressure",
+    "BatchOverCapacity",
     "LIMITS",
     "ProtocolError",
     "ServeApp",

@@ -11,7 +11,9 @@ A deliberately small HTTP/1.1 implementation over ``asyncio`` streams
 * ``GET /metrics`` -- Prometheus text format.
 
 Status mapping: protocol violations are **400** with a machine-readable
-reason; a full admission queue is **429** with ``Retry-After``; a
+reason; a full admission queue is **429** with ``Retry-After``; a batch
+with more distinct points than the service's total admission capacity
+is **413** (it could never be admitted, so retrying is pointless); a
 simulation that *runs and fails* (deadlock, engine fault) is **422**
 with the :class:`~repro.machine.diagnostics.EngineDiagnostic` JSON in
 the error body; drain mode is **503**; an expired request deadline is
@@ -44,17 +46,28 @@ from .protocol import (
     parse_sim_request,
     result_to_wire,
 )
-from .service import ServiceBusy, ServiceDraining, SimService
+from .service import (
+    BatchOverCapacity,
+    ServiceBusy,
+    ServiceDraining,
+    SimService,
+)
 
 access_log = logging.getLogger("repro.serve.access")
 
 _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 408: "Request Timeout",
-    422: "Unprocessable Entity", 429: "Too Many Requests",
-    500: "Internal Server Error", 503: "Service Unavailable",
-    504: "Gateway Timeout",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
 }
+
+#: Hard bounds on the request head, so a client that stalls or dribbles
+#: after the request line (slowloris) cannot hold a handler forever or
+#: grow the header dict without bound.
+_MAX_HEADER_BYTES = 16_384
+_MAX_HEADER_COUNT = 100
 
 #: Endpoint label values for metrics (unknown paths collapse to
 #: "other" so a path-scanning client cannot explode label cardinality).
@@ -242,13 +255,34 @@ class ServeApp:
             )
             return False
         method, target, http_version = parts
+        # The whole request head reads under the idle deadline, and
+        # within hard size/count caps: a client that stalls mid-headers
+        # or streams headers forever is cut off, not waited on.
         headers: Dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
+        header_bytes = 0
+        try:
+            while True:
+                line = await asyncio.wait_for(
+                    reader.readline(), self.idle_timeout
+                )
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                header_bytes += len(line)
+                if header_bytes > _MAX_HEADER_BYTES \
+                        or len(headers) >= _MAX_HEADER_COUNT:
+                    await self._write(
+                        writer, _error_response(
+                            400, "headers_too_large",
+                            f"request headers exceed "
+                            f"{_MAX_HEADER_COUNT} lines / "
+                            f"{_MAX_HEADER_BYTES} bytes",
+                        ), close=True,
+                    )
+                    return False
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+        except asyncio.TimeoutError:
+            return False
         path = target.split("?", 1)[0]
         try:
             length = int(headers.get("content-length", "0") or "0")
@@ -269,7 +303,15 @@ class ServeApp:
             )
             body = b""
         else:
-            body = await reader.readexactly(length) if length else b""
+            if length:
+                try:
+                    body = await asyncio.wait_for(
+                        reader.readexactly(length), self.idle_timeout
+                    )
+                except asyncio.TimeoutError:
+                    return False
+            else:
+                body = b""
             try:
                 response = await self._dispatch(method, path, body)
             except Exception as exc:  # noqa: BLE001 - last-resort guard
@@ -386,9 +428,22 @@ class ServeApp:
                 "bad_json", f"request body is not valid JSON: {exc}",
             ) from None
 
-    async def _await_outcome(self, future: Any):
+    async def _await_outcome(self, future: Any,
+                             timeout: Optional[float] = None):
+        """Await a dispatcher future under a deadline, without owning it.
+
+        The shield matters: the concurrent future is settled by the
+        dispatcher thread and may be shared by coalesced followers.
+        ``wait_for`` cancels on timeout, and ``wrap_future`` chains
+        that cancellation back into the (always-pending) concurrent
+        future -- which would make the dispatcher's ``set_result``
+        raise and abort every other waiter of the point.  Shielding
+        confines the timeout to this waiter alone.
+        """
+        if timeout is None:
+            timeout = self.request_timeout
         return await asyncio.wait_for(
-            asyncio.wrap_future(future), self.request_timeout
+            asyncio.shield(asyncio.wrap_future(future)), timeout
         )
 
     @staticmethod
@@ -482,6 +537,11 @@ class ServeApp:
                     headers=[("Retry-After", str(busy.retry_after))],
                     retry_after=busy.retry_after,
                 )
+            except BatchOverCapacity as exc:
+                return _error_response(
+                    413, "batch_exceeds_capacity", str(exc),
+                    fresh_points=exc.fresh, capacity=exc.capacity,
+                )
             except ServiceDraining:
                 return _error_response(
                     503, "draining", "service is draining; no new work",
@@ -491,9 +551,22 @@ class ServeApp:
                 for (index, _), (future, coalesced)
                 in zip(valid, futures)
             ]
+        # One deadline for the whole batch: each item awaits only the
+        # time the batch has left, so the worst case is one request
+        # timeout, not one per item.
+        deadline = (
+            time.monotonic() + self.request_timeout
+            if self.request_timeout is not None else None
+        )
         for index, future, coalesced in submissions:
+            remaining = (
+                max(0.0, deadline - time.monotonic())
+                if deadline is not None else None
+            )
             try:
-                outcome = await self._await_outcome(future)
+                outcome = await self._await_outcome(
+                    future, timeout=remaining
+                )
             except asyncio.TimeoutError:
                 entries[index] = {
                     "ok": False,
@@ -542,6 +615,7 @@ class ServerHandle:
 
 def serve_in_background(host: str = "127.0.0.1", port: int = 0,
                         request_timeout: Optional[float] = None,
+                        idle_timeout: float = 60.0,
                         **service_kwargs: Any) -> ServerHandle:
     """Start a full server on an ephemeral port; returns its handle.
 
@@ -550,7 +624,8 @@ def serve_in_background(host: str = "127.0.0.1", port: int = 0,
     assertions), and ``stop()`` for a graceful drain.
     """
     service = SimService(**service_kwargs)
-    app = ServeApp(service, request_timeout=request_timeout)
+    app = ServeApp(service, request_timeout=request_timeout,
+                   idle_timeout=idle_timeout)
     started = threading.Event()
     holder: Dict[str, Any] = {}
 

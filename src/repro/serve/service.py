@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.parallel import ParallelRunner, PointOutcome
@@ -51,6 +51,24 @@ class ServiceDraining(Exception):
     """The service is shutting down and admits no new work."""
 
 
+class BatchOverCapacity(Exception):
+    """A batch that needs more admission slots than the service has.
+
+    Such a batch can never be admitted no matter how long the client
+    waits, so it must be refused non-retryably (HTTP 413) instead of
+    the honest-looking-but-hopeless 429 loop a capacity check alone
+    would produce.
+    """
+
+    def __init__(self, fresh: int, capacity: int) -> None:
+        super().__init__(
+            f"batch needs {fresh} admission slot(s) but the service "
+            f"has only {capacity} in total; split the batch"
+        )
+        self.fresh = fresh
+        self.capacity = capacity
+
+
 class SimService:
     """Bounded, coalescing, self-healing simulation execution."""
 
@@ -71,7 +89,11 @@ class SimService:
             timeout=point_timeout,
             max_retries=max_retries,
             serial_fallback=False,
-            reuse_pool=(self.jobs > 1),
+            # Always pooled, even with one job: a 1-worker pool still
+            # gives process isolation and timeout-kill, so a wedged or
+            # crashing point cannot take the dispatcher thread (and
+            # hence the whole service) down with it.
+            reuse_pool=True,
         )
         self.admission = AdmissionController(queue_depth)
         self.coalescer = Coalescer()
@@ -195,6 +217,10 @@ class SimService:
                         or self.coalescer.contains(request.key):
                     continue
                 fresh_keys.add(request.key)
+            if len(fresh_keys) > self.admission.capacity:
+                raise BatchOverCapacity(
+                    len(fresh_keys), self.admission.capacity
+                )
             if fresh_keys and not self.admission.try_acquire(
                     len(fresh_keys)):
                 self._m_rejected.inc(len(fresh_keys))
@@ -262,7 +288,13 @@ class SimService:
                     self._m_points.inc(status="error")
                 outcome = outcome if outcome is not None else \
                     PointOutcome(result=None, error="no outcome")
-                ticket.future.set_result(outcome)
+                try:
+                    ticket.future.set_result(outcome)
+                except InvalidStateError:
+                    # An abandoned waiter cancelled the future; the
+                    # work is done and accounted for, the result just
+                    # has no audience.  The dispatcher must survive.
+                    pass
             self._in_flight = 0
             self._m_inflight.set(0)
             self.sync_fleet_metrics()

@@ -19,8 +19,12 @@ The acceptance properties pinned here:
   in-process.
 """
 
+import asyncio
 import json
+import socket
 import threading
+import time
+from concurrent.futures import Future
 
 import pytest
 
@@ -33,7 +37,8 @@ from repro.serve.protocol import (
     parse_sim_request,
     wire_to_result,
 )
-from repro.serve.server import serve_in_background
+from repro.serve.server import ServeApp, serve_in_background
+from repro.serve.service import SimService
 
 #: Spins long enough to keep a worker busy while a burst piles up, but
 #: bounded so a wedged test still finishes.
@@ -338,6 +343,195 @@ class TestBackpressure:
         assert body["error"]["reason"] == "draining"
         assert client.healthz()["status"] == "draining"
         handle.stop()
+
+
+class TestAbandonedWaiters:
+    """A waiter that times out or disappears must cost the service
+    nothing: the dispatcher survives, capacity is released, and a
+    coalesced leader future is never cancelled out from under the
+    other followers (REVIEW: dispatcher death via InvalidStateError)."""
+
+    def test_cancelled_future_does_not_kill_dispatcher(self, tmp_path):
+        service = SimService(jobs=1, queue_depth=4,
+                             cache_dir=str(tmp_path),
+                             point_timeout=60.0)
+        service.start()
+        try:
+            abandoned = parse_sim_request(
+                {"program": "A_IMM A0, 11\nHALT"}, service.workloads
+            )
+            future, _ = service.submit(abandoned)
+            # Simulate the waiter's deadline expiring: without the
+            # shield in _await_outcome this is exactly what wait_for
+            # did to the pending concurrent future.
+            future.cancel()
+            followup = parse_sim_request(
+                {"program": "A_IMM A0, 12\nHALT"}, service.workloads
+            )
+            future2, _ = service.submit(followup)
+            outcome = future2.result(timeout=120)
+            assert outcome.ok
+            # Capacity for both points drained back out: no leak.
+            deadline = time.monotonic() + 60
+            while service.admission.pending \
+                    and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert service.admission.pending == 0
+        finally:
+            service.drain(timeout=60.0)
+
+    def test_expired_deadline_leaves_shared_future_uncancelled(
+            self, tmp_path):
+        service = SimService(jobs=1, queue_depth=2,
+                             cache_dir=str(tmp_path))
+        app = ServeApp(service, request_timeout=0.05)
+        future = Future()
+
+        async def scenario():
+            with pytest.raises(asyncio.TimeoutError):
+                await app._await_outcome(future)
+
+        asyncio.run(scenario())
+        assert not future.cancelled()
+        future.set_result("late settle must not raise")
+        service.runner.close()
+
+
+class TestIsolation:
+    def test_jobs1_still_runs_in_worker_pool(self, tmp_path):
+        """--jobs 1 must not execute inline on the dispatcher thread:
+        the service always keeps a (1-worker) pool so isolation and
+        timeout-kill hold."""
+        service = SimService(jobs=1, queue_depth=4,
+                             cache_dir=str(tmp_path),
+                             point_timeout=60.0)
+        assert service.runner.reuse_pool is True
+        service.start()
+        try:
+            request = parse_sim_request(
+                {"program": "A_IMM A0, 3\nHALT"}, service.workloads
+            )
+            future, _ = service.submit(request)
+            outcome = future.result(timeout=120)
+            assert outcome.ok
+            # The pooled path built an executor; the inline path never
+            # touches this counter.
+            assert service.runner.fleet.pools >= 1
+        finally:
+            service.drain(timeout=60.0)
+
+
+class TestRequestHeadLimits:
+    def test_unbounded_headers_rejected(self, server):
+        with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=30) as sock:
+            head = b"GET /healthz HTTP/1.1\r\n"
+            # One header past the count cap, all of it sent before we
+            # read, so the server has no unread bytes left (clean FIN,
+            # no RST racing the response).
+            head += b"".join(
+                b"X-%d: a\r\n" % i for i in range(101)
+            )
+            sock.sendall(head)
+            sock.settimeout(30)
+            data = sock.recv(65536)
+        assert b" 400 " in data.split(b"\r\n", 1)[0]
+        assert b"headers_too_large" in data
+
+    def test_stalled_header_client_disconnected(self, tmp_path):
+        handle = serve_in_background(
+            jobs=1, queue_depth=2, cache_dir=str(tmp_path),
+            idle_timeout=0.5,
+        )
+        try:
+            ServeClient("127.0.0.1", handle.port).wait_ready()
+            with socket.create_connection(
+                    ("127.0.0.1", handle.port), timeout=30) as sock:
+                # Request line, then stall mid-headers (slowloris).
+                sock.sendall(b"GET /healthz HTTP/1.1\r\n")
+                sock.settimeout(30)
+                assert sock.recv(1024) == b""
+        finally:
+            handle.stop()
+
+
+class TestBatchDeadline:
+    def test_batch_shares_one_request_deadline(self, tmp_path):
+        """A stalled batch settles in ~one request_timeout, not one
+        per item."""
+        handle = serve_in_background(
+            jobs=1, queue_depth=8, cache_dir=str(tmp_path),
+            point_timeout=120.0, request_timeout=1.0,
+        )
+        try:
+            client = ServeClient("127.0.0.1", handle.port,
+                                 timeout=60.0)
+            client.wait_ready()
+            # Occupy the single worker with a ~4s point so the batch
+            # behind it cannot settle before its deadline.
+            blocker = {
+                "program": HANG_PROGRAM,
+                "config": {"max_cycles": 600_000},
+            }
+            blocker_thread = threading.Thread(
+                target=lambda: client.request_json(
+                    "POST", "/run", blocker
+                ),
+            )
+            blocker_thread.start()
+            deadline = time.monotonic() + 30
+            while handle.service.health()["in_flight"] == 0 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            started = time.perf_counter()
+            status, _, body = client.request_json(
+                "POST", "/batch",
+                {"requests": [
+                    {"program": "A_IMM A0, 21\nHALT"},
+                    {"program": "A_IMM A0, 22\nHALT"},
+                    {"program": "A_IMM A0, 23\nHALT"},
+                ]},
+            )
+            elapsed = time.perf_counter() - started
+            assert status == 200
+            reasons = [
+                entry["error"]["reason"] for entry in body["results"]
+            ]
+            assert reasons == ["request_timeout"] * 3
+            # Sequential per-item deadlines would take >= 3s here.
+            assert elapsed < 2.5
+            blocker_thread.join(timeout=60)
+        finally:
+            handle.stop()
+
+
+class TestBatchOverCapacity:
+    def test_batch_larger_than_capacity_is_413(self, tmp_path):
+        handle = serve_in_background(
+            jobs=1, queue_depth=2, cache_dir=str(tmp_path),
+        )
+        try:
+            client = ServeClient("127.0.0.1", handle.port)
+            client.wait_ready()
+            requests = [
+                {"program": f"A_IMM A0, {30 + i}\nHALT"}
+                for i in range(4)
+            ]
+            status, _, body = client.request_json(
+                "POST", "/batch", {"requests": requests}
+            )
+            assert status == 413
+            error = body["error"]
+            assert error["reason"] == "batch_exceeds_capacity"
+            assert error["fresh_points"] == 4
+            assert error["capacity"] == 2
+            # A batch that fits (after coalescing duplicates) is fine.
+            entries = client.run_batch(
+                [requests[0], dict(requests[0])], max_attempts=8
+            )
+            assert [entry["ok"] for entry in entries] == [True, True]
+        finally:
+            handle.stop()
 
 
 class TestClientErrors:
