@@ -3,6 +3,12 @@
 Commands:
 
 * ``run FILE``        -- assemble and run an assembly file on an engine
+* ``trace PROG``      -- run with the observability recorder: per-cycle
+  attribution (every cycle in exactly one bucket) and a
+  Perfetto-loadable Chrome trace (``--out trace.json``)
+* ``diff PROG``       -- run a program on two engines
+  (``--engines A,B``) and report the first commit-order divergence,
+  per-bucket attribution deltas and per-instruction latency deltas
 * ``lint FILE``       -- statically verify an assembly file (CFG,
   reaching definitions, config cross-checks, critical-path bound)
 * ``compare [loops]`` -- compare all issue mechanisms on Livermore loops
@@ -46,12 +52,14 @@ from .workloads import LIVERMORE_FACTORIES, all_loops
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
     with open(args.file) as handle:
         program = assemble(handle.read(), name=args.file)
     config = MachineConfig(window_size=args.window)
     builder = ENGINE_FACTORIES[args.engine]
     engine = builder(program, config, Memory())
-    if args.timeline:
+    if args.timeline or args.timeline_json:
         from .machine.timeline import Timeline
 
         engine.timeline = Timeline()
@@ -61,12 +69,121 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(engine.interrupt_record.describe())
     if args.timeline and engine.timeline is not None:
         print()
-        print(engine.timeline.gantt(program=program))
+        print(engine.timeline.gantt(
+            program=program, first=args.first, last=args.last
+        ))
         print()
         print(engine.timeline.summary())
+    if args.timeline_json and engine.timeline is not None:
+        with open(args.timeline_json, "w") as handle:
+            json.dump(engine.timeline.to_json(), handle, indent=1,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.timeline_json}")
     if args.registers:
         for name, value in sorted(engine.regs.nonzero().items()):
             print(f"  {name:>4s} = {value}")
+    return 0
+
+
+def _resolve_program(spec: str):
+    """A positional PROG is a bundled workload name or an asm file.
+
+    Returns ``(program, memory)`` with a fresh memory either way.
+    """
+    from .workloads import synthetic_suite
+
+    registry = {
+        workload.name: workload
+        for workload in all_loops() + synthetic_suite()
+    }
+    if spec in registry:
+        workload = registry[spec]
+        return workload.program, workload.make_memory()
+    with open(spec) as handle:
+        return assemble(handle.read(), name=spec), Memory()
+
+
+def _traced_run(program, memory, engine_name: str,
+                config: MachineConfig, sample_every: int = 1):
+    """Run one engine with a detail recorder; returns (recorder, result)."""
+    from .obs import TraceRecorder
+
+    engine = ENGINE_FACTORIES[engine_name](program, config, memory)
+    recorder = TraceRecorder(detail=True, sample_every=sample_every)
+    engine.recorder = recorder
+    result = engine.run()
+    return recorder, result
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import attribute_cycles, validate_chrome_trace, \
+        write_chrome_trace
+
+    program, memory = _resolve_program(args.prog)
+    config = MachineConfig(window_size=args.window)
+    recorder, result = _traced_run(
+        program, memory, args.engine, config,
+        sample_every=args.sample_every,
+    )
+    attribution = attribute_cycles(result, recorder)
+    print(result.describe())
+    print(attribution.describe())
+    if args.out:
+        document = write_chrome_trace(args.out, recorder)
+        problems = validate_chrome_trace(document, cycles=result.cycles)
+        if problems:
+            print(f"{args.out}: INVALID trace ({len(problems)} problems)")
+            for problem in problems[:10]:
+                print(f"  {problem}")
+            return 1
+        print(
+            f"wrote {args.out} ({len(document['traceEvents'])} events; "
+            f"open in https://ui.perfetto.dev or chrome://tracing)"
+        )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import diff_against_iss, diff_recorders
+
+    engines = [name.strip() for name in args.engines.split(",") if name]
+    if len(engines) != 2:
+        print("--engines needs exactly two comma-separated names "
+              "(e.g. --engines ruu-bypass,tomasulo)")
+        return 2
+    unknown = [name for name in engines if name not in ENGINE_FACTORIES]
+    if unknown:
+        print(f"unknown engine(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(sorted(ENGINE_FACTORIES))}")
+        return 2
+    config = MachineConfig(window_size=args.window)
+    recorders = []
+    for name in engines:
+        program, memory = _resolve_program(args.prog)
+        recorders.append(_traced_run(program, memory, name, config))
+    (rec_a, res_a), (rec_b, res_b) = recorders
+    diff = diff_recorders(rec_a, rec_b, res_a, res_b, top=args.top)
+    print(diff.describe())
+    if args.iss:
+        program, memory = _resolve_program(args.prog)
+        golden = FunctionalExecutor(program, memory).run()
+        for name, recorder in zip(engines, (rec_a, rec_b)):
+            divergence = diff_against_iss(recorder, golden)
+            verdict = "matches the golden ISS commit order" \
+                if divergence is None else (
+                    f"diverges from the golden ISS at retirement "
+                    f"#{divergence.index} ({divergence.text_a} vs "
+                    f"{divergence.text_b})"
+                )
+            print(f"  {name:>16s}: {verdict}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(diff.to_json(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -358,7 +475,55 @@ def main(argv=None) -> int:
     p_run.add_argument("--timeline", action="store_true",
                        help="print a pipeline Gantt diagram and "
                             "stage-delay summary after the run")
+    p_run.add_argument("--first", type=int, default=0,
+                       help="first instruction (dynamic seq) shown in "
+                            "the --timeline Gantt (default 0)")
+    p_run.add_argument("--last", type=int, default=24,
+                       help="last instruction (dynamic seq) shown in "
+                            "the --timeline Gantt (default 24)")
+    p_run.add_argument("--timeline-json", default=None, metavar="PATH",
+                       help="record a timeline and write it as JSON "
+                            "(machine-readable Gantt data)")
     p_run.set_defaults(func=_cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one engine with the observability recorder: full "
+             "cycle attribution plus a Perfetto-loadable Chrome trace",
+    )
+    p_trace.add_argument("prog",
+                         help="assembly file or bundled workload name "
+                              "(e.g. LLL3; see 'repro loops')")
+    p_trace.add_argument("--engine", default="ruu-bypass",
+                         choices=sorted(ENGINE_FACTORIES))
+    p_trace.add_argument("--window", type=int, default=12)
+    p_trace.add_argument("--out", default=None, metavar="FILE",
+                         help="write Chrome trace-event JSON here "
+                              "(open in ui.perfetto.dev)")
+    p_trace.add_argument("--sample-every", type=int, default=1,
+                         help="occupancy sampling stride in cycles "
+                              "(default 1: every cycle)")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="differential trace debugging: run a program on two "
+             "engines and report where their pipelines diverge",
+    )
+    p_diff.add_argument("prog",
+                        help="assembly file or bundled workload name")
+    p_diff.add_argument("--engines", required=True, metavar="A,B",
+                        help="exactly two engine names, comma-separated")
+    p_diff.add_argument("--window", type=int, default=12)
+    p_diff.add_argument("--top", type=int, default=10,
+                        help="how many per-instruction latency deltas "
+                             "to report (default 10)")
+    p_diff.add_argument("--iss", action="store_true",
+                        help="also check each engine's commit stream "
+                             "against the golden functional ISS")
+    p_diff.add_argument("--json", default=None, metavar="FILE",
+                        help="write the machine-readable diff here")
+    p_diff.set_defaults(func=_cmd_diff)
 
     p_lint = sub.add_parser(
         "lint", help="statically verify a program before running it"

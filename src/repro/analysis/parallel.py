@@ -78,12 +78,31 @@ class SimPoint:
     engine: str
     workload: Workload
     config: MachineConfig
+    #: Attach a streaming observability recorder and embed the cycle
+    #: attribution in ``result.extra["attribution"]``.  Traced points
+    #: bypass the result cache (the cache key does not include the
+    #: flag, and cached entries carry no attribution).
+    trace: bool = False
 
 
 def run_point(point: SimPoint,
               cache: Optional[ResultCache] = None) -> SimResult:
     """Execute one point (in this process), optionally through a cache."""
     builder = ENGINE_FACTORIES[point.engine]
+    if getattr(point, "trace", False):
+        from ..obs import TraceRecorder, attribute_cycles
+
+        engine = builder(
+            point.workload.program, point.config,
+            point.workload.make_memory(),
+        )
+        recorder = TraceRecorder(detail=False)
+        engine.recorder = recorder
+        result = engine.run()
+        result.extra["attribution"] = attribute_cycles(
+            result, recorder
+        ).to_json()
+        return result
     if cache is not None:
         return cache.run(builder, point.engine, point.workload, point.config)
     engine = builder(
@@ -100,7 +119,7 @@ def _worker(job: Tuple[SimPoint, Optional[str]]) -> Tuple[SimResult, bool]:
     it keeps hit/miss counters per-point instead of per-process.
     """
     point, cache_dir = job
-    if cache_dir is None:
+    if cache_dir is None or getattr(point, "trace", False):
         return run_point(point), False
     cache = ResultCache(cache_dir)
     result = cache.run(

@@ -85,6 +85,8 @@ class SpeculativeRUUEngine(RUUEngine):
             taken = branch_taken(inst.opcode, value)
             self.predictor.update(inst, taken)
             self._redirect_after_branch(inst, taken)
+            self.note(self.decode_seq, "issue")
+            self.note(self.decode_seq, "commit")
             self._note_retired(self.decode_seq)
             self.decode_slot = None
             return
@@ -99,6 +101,9 @@ class SpeculativeRUUEngine(RUUEngine):
         self._pending_branches.append(
             PendingBranch(self.decode_seq, inst, tag, predicted)
         )
+        # The branch leaves decode into the pending list: that is its
+        # issue, even though it resolves (and retires) much later.
+        self.note(self.decode_seq, "issue")
         self._clear_decode_watch()
         if predicted:
             self.pc = inst.target
@@ -144,6 +149,7 @@ class SpeculativeRUUEngine(RUUEngine):
             if taken:
                 self.branches_taken += 1
             self._pending_branches.pop(0)
+            self.note(pending.seq, "commit")
             self._note_retired(pending.seq)
             if taken != pending.predicted:
                 self.mispredictions += 1

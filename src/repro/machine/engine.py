@@ -92,6 +92,12 @@ class Engine(abc.ABC):
         #: Optional per-instruction pipeline recorder (see
         #: :mod:`repro.machine.timeline`); attach before ``run()``.
         self.timeline = None
+        #: Optional observability recorder (see
+        #: :mod:`repro.obs.events`); attach before ``run()``.  Receives
+        #: every ``note``/``stall``/retire event plus one end-of-tick
+        #: callback per cycle, so it can attribute every cycle of the
+        #: run.  None (the default) costs one attribute test per event.
+        self.recorder = None
         #: Optional instruction-buffer model (see
         #: :mod:`repro.machine.fetch`); when None, fetch always hits --
         #: the paper's assumption (§2.2).
@@ -138,6 +144,8 @@ class Engine(abc.ABC):
                         f"{self.cycle - self.last_commit_cycle} cycles"
                     )
                 self.tick()
+                if self.recorder is not None:
+                    self.recorder.on_cycle(self)
                 self.cycle += 1
                 if self.interrupt_record is not None:
                     break
@@ -145,6 +153,8 @@ class Engine(abc.ABC):
                     self.result_bus.release_past(self.cycle)
         finally:
             self.host_seconds += time.perf_counter() - started
+        if self.recorder is not None:
+            self.recorder.on_run_end(self)
         return self.result()
 
     def _deadlock(self, reason: str) -> DeadlockError:
@@ -297,6 +307,8 @@ class Engine(abc.ABC):
         self.next_seq += 1
         self.pc = inst.pc + 1
         self.note(self.decode_seq, "decode")
+        if self.recorder is not None:
+            self.recorder.on_inst(self.decode_seq, inst)
 
     def _issue_control_flow(self, inst: Instruction) -> None:
         """Resolve a branch or jump in the decode stage.
@@ -357,17 +369,23 @@ class Engine(abc.ABC):
     def stall(self, reason: str) -> None:
         """Record one stalled issue cycle with its cause."""
         self.stalls[reason] += 1
+        if self.recorder is not None:
+            self.recorder.on_stall(reason, self.cycle)
 
     def note(self, seq: int, stage: str) -> None:
         """Record a pipeline event if a timeline is attached."""
         if self.timeline is not None:
             self.timeline.record(seq, stage, self.cycle)
+        if self.recorder is not None:
+            self.recorder.on_stage(seq, stage, self.cycle)
 
     def _note_retired(self, seq: int) -> None:
         """An instruction has architecturally completed."""
         self.retired += 1
         self.retire_log.append(seq)
         self.last_commit_cycle = self.cycle
+        if self.recorder is not None:
+            self.recorder.on_retire(seq, self.cycle)
 
     def _schedule_completion(self, cycle: int, payload: object) -> None:
         """Register a functional-unit result for delivery at ``cycle``."""

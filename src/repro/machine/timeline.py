@@ -50,6 +50,28 @@ class Timeline:
     def sequences(self) -> List[int]:
         return sorted(self._events)
 
+    def to_json(self) -> Dict[str, object]:
+        """Machine-readable form (JSON object keys are strings)."""
+        return {
+            "schema": 1,
+            "events": {
+                str(seq): dict(stages)
+                for seq, stages in sorted(self._events.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "Timeline":
+        """Rebuild a timeline from :meth:`to_json` output."""
+        schema = payload.get("schema")
+        if schema != 1:
+            raise ValueError(f"unknown timeline schema: {schema!r}")
+        timeline = cls()
+        for seq, stages in payload.get("events", {}).items():
+            for stage, cycle in stages.items():
+                timeline.record(int(seq), str(stage), int(cycle))
+        return timeline
+
     def stage_delay(self, seq: int, from_stage: str,
                     to_stage: str) -> Optional[int]:
         """Cycles between two stages of one instruction (None if either

@@ -1,0 +1,214 @@
+"""Chrome trace-event JSON export (Perfetto / chrome://tracing).
+
+Converts a detail-mode :class:`~repro.obs.events.TraceRecorder` into
+the Trace Event Format's "JSON object" flavour: one process per run,
+one thread track per functional unit (``X`` complete events from
+dispatch to completion), async ``b``/``e`` slices for whole instruction
+lifetimes (decode to retirement -- overlapping lifetimes render as the
+window filling up), and ``C`` counter tracks for structure occupancy,
+result-bus reservations, in-flight instructions and the cumulative
+cycle-attribution buckets.  Timestamps are in "microseconds": one
+simulated cycle = 1 us, so Perfetto's ruler reads directly in cycles.
+
+The exporter has a matching :func:`validate_chrome_trace` used by tests
+and CI, so the schema the viewer needs is pinned in-repo.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Optional
+
+from .events import TraceRecorder
+
+#: Phase codes this exporter emits (subset of the Trace Event Format).
+_PHASES = {"M", "X", "b", "e", "C"}
+
+#: Thread ids: 0 is the retire track, FUs get stable ids from 1.
+_RETIRE_TID = 0
+
+
+def chrome_trace(recorder: TraceRecorder,
+                 counter_every: int = 1) -> Dict[str, object]:
+    """Build the trace-event document for one recorded run.
+
+    ``counter_every`` thins the counter tracks (1 = every sample the
+    recorder kept); slice events are never thinned.
+    """
+    if not recorder.detail:
+        raise ValueError(
+            "chrome export needs a detail-mode TraceRecorder "
+            "(TraceRecorder(detail=True))"
+        )
+    pid = 0
+    engine = recorder.engine_name or "engine"
+    workload = recorder.workload or "workload"
+    events: List[Dict[str, object]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": f"{engine} on {workload}"},
+    }]
+
+    # -- thread tracks: one per functional unit seen, plus retire ------
+    fu_tids: Dict[str, int] = {}
+    for seq in sorted(recorder.insts):
+        _, fu, _ = recorder.insts[seq]
+        if fu is not None and fu not in fu_tids:
+            fu_tids[fu] = len(fu_tids) + 1
+    for fu, tid in fu_tids.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": f"fu:{fu}"},
+        })
+    events.append({
+        "name": "thread_name", "ph": "M", "pid": pid,
+        "tid": _RETIRE_TID, "args": {"name": "retire"},
+    })
+
+    # -- per-instruction slices ----------------------------------------
+    for seq in sorted(recorder.stages):
+        stages = recorder.stages[seq]
+        pc, fu, text = recorder.insts.get(seq, (-1, None, f"seq {seq}"))
+        name = f"#{seq} {text}"
+        args = {"seq": seq, "pc": pc}
+        # Execution slice on the FU track (dispatch -> complete).
+        if fu is not None and "dispatch" in stages:
+            start = stages["dispatch"]
+            end = stages.get("complete", start + 1)
+            events.append({
+                "name": name, "cat": "execute", "ph": "X",
+                "pid": pid, "tid": fu_tids[fu],
+                "ts": start, "dur": max(1, end - start), "args": args,
+            })
+        # Whole-lifetime async slice (decode -> retire).
+        lifetime = recorder.lifetime(seq)
+        if lifetime is not None:
+            first, last = lifetime
+            events.append({
+                "name": name, "cat": "inst", "ph": "b", "id": seq,
+                "pid": pid, "tid": _RETIRE_TID, "ts": first,
+                "args": args,
+            })
+            events.append({
+                "name": name, "cat": "inst", "ph": "e", "id": seq,
+                "pid": pid, "tid": _RETIRE_TID, "ts": max(first + 1, last),
+                "args": {},
+            })
+
+    # -- counter tracks ------------------------------------------------
+    for index, (cycle, occupancy, bus, inflight) in enumerate(
+            recorder.samples):
+        if index % counter_every:
+            continue
+        if occupancy:
+            events.append({
+                "name": "occupancy", "ph": "C", "pid": pid, "tid": 0,
+                "ts": cycle, "args": dict(occupancy),
+            })
+        events.append({
+            "name": "in_flight", "ph": "C", "pid": pid, "tid": 0,
+            "ts": cycle,
+            "args": {"instructions": inflight, "result_bus": bus},
+        })
+
+    # Cumulative attribution buckets as one stacked counter track.
+    if recorder.cycle_buckets and recorder.start_cycle is not None:
+        running: Counter = Counter()
+        stride = max(1, counter_every)
+        for offset, bucket in enumerate(recorder.cycle_buckets):
+            running[bucket] += 1
+            if offset % stride == 0 \
+                    or offset == len(recorder.cycle_buckets) - 1:
+                events.append({
+                    "name": "cycle_buckets", "ph": "C", "pid": pid,
+                    "tid": 0, "ts": recorder.start_cycle + offset,
+                    "args": dict(running),
+                })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "engine": engine,
+            "workload": workload,
+            "cycles": recorder.final_cycles,
+            "instructions": recorder.instructions,
+            "generator": "repro.obs.chrome",
+        },
+    }
+
+
+def write_chrome_trace(path: str, recorder: TraceRecorder,
+                       counter_every: int = 1) -> Dict[str, object]:
+    """Export ``recorder`` to ``path``; returns the document."""
+    document = chrome_trace(recorder, counter_every=counter_every)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+    return document
+
+
+def validate_chrome_trace(document: object,
+                          cycles: Optional[int] = None) -> List[str]:
+    """Schema-check a trace document; returns a list of problems.
+
+    Pins what Perfetto's JSON importer needs: a ``traceEvents`` list
+    whose entries carry a known ``ph``, a ``pid``, a name, numeric
+    non-negative ``ts`` (except metadata), paired async begin/end ids,
+    and -- when ``cycles`` is given -- no timestamp beyond the run.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"document is {type(document).__name__}, expected object"]
+    trace_events = document.get("traceEvents")
+    if not isinstance(trace_events, list) or not trace_events:
+        return ["traceEvents must be a non-empty list"]
+    open_async: Dict[object, int] = {}
+    for index, event in enumerate(trace_events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing name")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: missing integer pid")
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        elif cycles is not None and ts > cycles:
+            problems.append(
+                f"{where}: ts {ts} beyond the {cycles}-cycle run"
+            )
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur <= 0:
+                problems.append(f"{where}: X event needs positive dur")
+        if phase == "C" and not isinstance(event.get("args"), dict):
+            problems.append(f"{where}: C event needs args")
+        if phase == "b":
+            key = event.get("id")
+            if key is None:
+                problems.append(f"{where}: async begin without id")
+            elif key in open_async:
+                problems.append(f"{where}: async id {key!r} reopened")
+            else:
+                open_async[key] = index
+        if phase == "e":
+            key = event.get("id")
+            if key not in open_async:
+                problems.append(
+                    f"{where}: async end without matching begin"
+                )
+            else:
+                del open_async[key]
+    for key, index in sorted(open_async.items(), key=lambda kv: kv[1]):
+        problems.append(
+            f"traceEvents[{index}]: async id {key!r} never closed"
+        )
+    return problems

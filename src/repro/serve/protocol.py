@@ -17,7 +17,13 @@ of a bundled benchmark -- see :func:`build_workload_registry`) must be
 present.  ``engine`` defaults to ``ruu-bypass``; ``config`` holds
 integer :class:`~repro.machine.config.MachineConfig` field overrides
 (the ``latencies`` mapping is not expressible over the wire and is
-rejected).  A **batch** is ``{"requests": [<request>, ...]}``.
+rejected).  An optional ``"trace": true`` attaches a streaming
+observability recorder and returns the full-cycle attribution summary
+in ``result.extra.attribution``; traced runs are capped at
+``LIMITS["max_trace_cycles"]`` simulated cycles (an explicit larger
+``max_cycles`` is refused with the ``trace_too_large`` slug) and never
+coalesce with, or read from, the untraced result cache.  A **batch**
+is ``{"requests": [<request>, ...]}``.
 
 Validation failures raise :class:`ProtocolError`, which carries a
 machine-readable ``reason`` slug plus detail fields; the server maps it
@@ -57,6 +63,10 @@ LIMITS: Dict[str, int] = {
     "max_batch_size": 64,
     "max_max_cycles": 20_000_000,
     "max_body_bytes": 2_000_000,
+    #: Ceiling on the cycle budget of a traced run ("trace": true):
+    #: the worker classifies every cycle, so the budget bounds the
+    #: extra work a trace request can demand.
+    "max_trace_cycles": 2_000_000,
 }
 
 #: Default engine for requests that do not name one.
@@ -240,12 +250,40 @@ def parse_sim_request(payload: Any,
     label = payload.get("label", "")
     if not isinstance(label, str):
         raise ProtocolError("bad_request", "'label' must be a string")
+    trace = payload.get("trace", False)
+    if not isinstance(trace, bool):
+        raise ProtocolError(
+            "bad_request", "'trace' must be a boolean",
+        )
     config = _parse_config(payload.get("config"))
+    if trace:
+        limit = LIMITS["max_trace_cycles"]
+        config_payload = payload.get("config")
+        explicit_budget = isinstance(config_payload, dict) \
+            and "max_cycles" in config_payload
+        if explicit_budget and config.max_cycles > limit:
+            raise ProtocolError(
+                "trace_too_large",
+                f"traced runs accept a max_cycles budget of at most "
+                f"{limit}; drop 'trace' or lower 'max_cycles'",
+                limit=limit,
+                got=config.max_cycles,
+            )
+        if not explicit_budget and config.max_cycles > limit:
+            # The engine default budget exceeds the trace ceiling;
+            # clamp so an untraced-sized request stays serveable.
+            config = config.with_(max_cycles=limit)
     workload = _parse_source(payload, workloads)
-    point = SimPoint(engine, workload, config)
+    point = SimPoint(engine, workload, config, trace=trace)
+    key = cache_key(engine, workload, config)
+    if trace:
+        # Traced and untraced runs of one point must never coalesce:
+        # the cache key ignores the flag, but a follower waiting on an
+        # untraced leader would get a result with no attribution.
+        key += ":trace"
     return SimRequest(
         point=point,
-        key=cache_key(engine, workload, config),
+        key=key,
         label=label,
     )
 

@@ -97,3 +97,104 @@ class TestLoadbenchArgs:
     def test_attach_requires_a_port(self, capsys):
         assert main(["loadbench"]) == 2
         assert "--port" in capsys.readouterr().out
+
+
+class TestHelpListsCommands:
+    def test_help_lists_trace_and_diff(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("run", "trace", "diff", "serve", "loadbench"):
+            assert command in out
+
+
+class TestTimelineJson:
+    def test_timeline_json_round_trips(self, asm_file, tmp_path, capsys):
+        import json
+
+        from repro.machine import Timeline
+
+        path = tmp_path / "timeline.json"
+        assert main(["run", asm_file, "--timeline-json", str(path)]) == 0
+        assert f"wrote {path}" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        timeline = Timeline.from_json(payload)
+        assert timeline.sequences()
+        assert timeline.to_json() == payload
+
+    def test_timeline_json_without_gantt(self, asm_file, tmp_path,
+                                         capsys):
+        path = tmp_path / "timeline.json"
+        assert main(["run", asm_file, "--timeline-json", str(path)]) == 0
+        assert "D=decode" not in capsys.readouterr().out
+
+    def test_first_last_window_the_gantt(self, asm_file, capsys):
+        assert main(["run", asm_file, "--timeline",
+                     "--first", "2", "--last", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "#2" in out and "#3" in out
+        assert "#0 " not in out and "#4 " not in out
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_chrome_json(self, asm_file, tmp_path,
+                                            capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", asm_file, "--engine", "tomasulo",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution" in out
+        assert "committed" in out
+        document = json.loads(out_path.read_text())
+        assert validate_chrome_trace(document) == []
+
+    def test_trace_accepts_workload_names(self, capsys):
+        assert main(["trace", "LLL1", "--engine", "simple",
+                     "--window", "8"]) == 0
+        assert "LLL1" in capsys.readouterr().out
+
+    def test_trace_unknown_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            main(["trace", str(tmp_path / "missing.asm")])
+
+
+class TestDiffCommand:
+    def test_self_diff_reports_no_divergence(self, asm_file, capsys):
+        assert main(["diff", asm_file,
+                     "--engines", "ruu-bypass,ruu-bypass"]) == 0
+        out = capsys.readouterr().out
+        assert "no divergence" in out
+        assert "commit stream: identical" in out
+
+    def test_cross_engine_diff_on_workload(self, capsys):
+        assert main(["diff", "LLL3", "--engines", "ruu-bypass,tomasulo",
+                     "--window", "8", "--iss"]) == 0
+        out = capsys.readouterr().out
+        assert "ruu-bypass vs tomasulo" in out
+        assert "matches the golden ISS commit order" in out
+        assert "diverges from the golden ISS" in out
+
+    def test_diff_json_output(self, asm_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "diff.json"
+        assert main(["diff", asm_file, "--engines", "simple,rstu",
+                     "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["engine_a"] == "simple"
+        assert payload["engine_b"] == "rstu"
+        assert isinstance(payload["identical"], bool)
+
+    def test_diff_needs_exactly_two_engines(self, asm_file, capsys):
+        assert main(["diff", asm_file, "--engines", "simple"]) == 2
+        assert main(["diff", asm_file,
+                     "--engines", "simple,rstu,ruu-bypass"]) == 2
+
+    def test_diff_rejects_unknown_engine(self, asm_file, capsys):
+        assert main(["diff", asm_file, "--engines", "simple,nope"]) == 2
+        assert "unknown engine" in capsys.readouterr().out

@@ -59,3 +59,66 @@ def test_checked_under_extreme_pressure(livermore_loops):
         reference = reference_state(workload.program,
                                     workload.initial_memory)
         assert engine.regs == reference.regs, workload.name
+
+
+class TestFullCycleAttribution:
+    """The observability oracle: every engine on every Livermore loop
+    must account for *every* cycle (no 'unaccounted' bucket) and the
+    recorded stall events must reconcile exactly with
+    ``SimResult.stalls``."""
+
+    def test_every_engine_every_loop_fully_attributed(
+            self, livermore_loops):
+        from repro.analysis import ENGINE_FACTORIES
+        from repro.obs import TraceRecorder, attribute_cycles
+        from repro.obs.events import UNACCOUNTED
+
+        config = MachineConfig(window_size=8)
+        runs = 0
+        engines = {
+            name: builder
+            for name, builder in ENGINE_FACTORIES.items()
+            if not name.startswith("chaos-")
+        }
+        for name, builder in engines.items():
+            for workload in livermore_loops:
+                engine = builder(
+                    workload.program, config, workload.make_memory()
+                )
+                recorder = TraceRecorder(detail=False)
+                engine.recorder = recorder
+                result = engine.run()
+                # attribute_cycles asserts the buckets sum to
+                # result.cycles and that stall events reconcile.
+                attribution = attribute_cycles(result, recorder)
+                assert sum(attribution.buckets.values()) \
+                    == result.cycles, (name, workload.name)
+                assert attribution.buckets.get(UNACCOUNTED, 0) == 0, (
+                    name, workload.name, attribution.buckets,
+                )
+                assert attribution.stall_events == dict(result.stalls), (
+                    name, workload.name,
+                )
+                runs += 1
+        assert runs == len(engines) * len(livermore_loops)
+        assert len(engines) >= 14
+
+    def test_attribution_survives_structural_starvation(
+            self, livermore_loops):
+        """Tiny window + 1-bit counters: the stall mix shifts hard
+        toward structural causes but every cycle stays classified."""
+        from repro.core import RUUEngine
+        from repro.obs import TraceRecorder, attribute_cycles
+
+        config = MachineConfig(
+            window_size=2, counter_bits=1, n_load_registers=1
+        )
+        for workload in livermore_loops[:3]:
+            engine = RUUEngine(
+                workload.program, config, memory=workload.make_memory()
+            )
+            recorder = TraceRecorder(detail=False)
+            engine.recorder = recorder
+            result = engine.run()
+            attribution = attribute_cycles(result, recorder)
+            assert attribution.unaccounted == 0, workload.name

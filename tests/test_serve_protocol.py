@@ -228,3 +228,57 @@ class TestOverridableFields:
     def test_every_machineconfig_field_except_latencies(self):
         names = {f.name for f in dataclasses.fields(MachineConfig)}
         assert OVERRIDABLE_CONFIG_FIELDS == names - {"latencies"}
+
+
+class TestTraceRequests:
+    def test_trace_defaults_off(self):
+        request = parse({"workload": "LLL3"})
+        assert request.point.trace is False
+        assert not request.key.endswith(":trace")
+
+    def test_traced_key_never_coalesces_with_untraced(self):
+        # Same explicit budget so the configs (and thus the content
+        # hashes) match; only the ":trace" suffix may separate them.
+        config = {"max_cycles": 100_000}
+        plain = parse({"workload": "LLL3", "config": config})
+        traced = parse({"workload": "LLL3", "config": config,
+                        "trace": True})
+        assert traced.point.trace is True
+        assert traced.key == plain.key + ":trace"
+
+    def test_trace_must_be_boolean(self):
+        assert reason_of({"workload": "LLL3", "trace": "yes"}) \
+            == "bad_request"
+
+    def test_explicit_oversized_budget_refused(self):
+        payload = {
+            "workload": "LLL3", "trace": True,
+            "config": {"max_cycles": LIMITS["max_trace_cycles"] + 1},
+        }
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(payload)
+        assert excinfo.value.reason == "trace_too_large"
+        assert excinfo.value.detail["limit"] == LIMITS["max_trace_cycles"]
+
+    def test_implicit_budget_clamped_to_trace_ceiling(self):
+        request = parse({"workload": "LLL3", "trace": True})
+        assert request.point.config.max_cycles \
+            == LIMITS["max_trace_cycles"]
+
+    def test_explicit_budget_within_ceiling_survives(self):
+        request = parse({
+            "workload": "LLL3", "trace": True,
+            "config": {"max_cycles": 100_000},
+        })
+        assert request.point.config.max_cycles == 100_000
+
+    def test_traced_run_serves_attribution(self):
+        result = run_point(
+            parse({"workload": "LLL1", "trace": True,
+                   "config": {"window_size": 8}}).point
+        )
+        attribution = result.extra["attribution"]
+        assert sum(attribution["buckets"].values()) == result.cycles
+        # The attribution summary must survive the wire form.
+        assert wire_to_result(result_to_wire(result)) \
+            .extra["attribution"] == attribution

@@ -540,3 +540,36 @@ class TestClientErrors:
             client.run({"workload": "LLL99"})
         assert excinfo.value.status == 400
         assert excinfo.value.reason == "unknown_workload"
+
+
+class TestTraceOverTheWire:
+    def test_traced_run_returns_attribution(self, client):
+        body = client.run_raw(
+            {"workload": "LLL1", "trace": True,
+             "config": {"window_size": 8}},
+            max_attempts=8,
+        )
+        assert body["ok"] is True
+        result = wire_to_result(body["result"])
+        attribution = result.extra["attribution"]
+        assert sum(attribution["buckets"].values()) == result.cycles
+        assert attribution["buckets"].get("unaccounted", 0) == 0
+        assert attribution["stall_events"] == {
+            reason: count for reason, count in result.stalls.items()
+        }
+
+    def test_untraced_run_has_no_attribution(self, client):
+        result = client.run(
+            {"workload": "LLL1", "config": {"window_size": 8}},
+            max_attempts=8,
+        )
+        assert "attribution" not in result.extra
+
+    def test_oversized_trace_budget_is_400(self, client):
+        status, _, body = client.request_json(
+            "POST", "/run",
+            {"workload": "LLL1", "trace": True,
+             "config": {"max_cycles": 5_000_000}},
+        )
+        assert status == 400
+        assert body["error"]["reason"] == "trace_too_large"

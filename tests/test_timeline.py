@@ -124,3 +124,22 @@ class TestOverhead:
         plain_result = plain.run()
         engine, _ = run_with_timeline(RUUEngine)
         assert engine.cycle == plain_result.cycles
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_every_event(self):
+        engine, timeline = run_with_timeline(RUUEngine)
+        rebuilt = Timeline.from_json(timeline.to_json())
+        assert rebuilt.sequences() == timeline.sequences()
+        for seq in timeline.sequences():
+            assert rebuilt.events_for(seq) == timeline.events_for(seq)
+
+    def test_json_keys_are_strings(self):
+        _, timeline = run_with_timeline(RUUEngine)
+        payload = timeline.to_json()
+        assert payload["schema"] == 1
+        assert all(isinstance(k, str) for k in payload["events"])
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline.from_json({"schema": 99, "events": {}})
